@@ -1,0 +1,32 @@
+// Reproduces the paper's miss-rate table ("Figure 3"): overall miss rate
+// of each application under Eager, Lazy, and Lazy-ext release consistency.
+//
+// Expected shape (paper §4.2): lazy <= eager everywhere; lazy-ext <= lazy;
+// equality for the no-false-sharing applications (cholesky, fft).
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lrc;
+  auto opt = bench::Options::parse(argc, argv);
+  bench::print_header(opt, "Miss rates per protocol",
+                      "paper Figure 3 (Sec. 4.2 table)");
+
+  stats::Table table({"Application", "Eager", "Lazy", "Lazy-ext"});
+  for (const auto* app : bench::selected_apps(opt)) {
+    const auto erc = bench::run_app(*app, core::ProtocolKind::kERC, opt);
+    const auto lrc_r = bench::run_app(*app, core::ProtocolKind::kLRC, opt);
+    const auto ext = bench::run_app(*app, core::ProtocolKind::kLRCExt, opt);
+    table.add_row({std::string(app->name),
+                   stats::Table::pct(erc.report.miss_rate(), 2),
+                   stats::Table::pct(lrc_r.report.miss_rate(), 2),
+                   stats::Table::pct(ext.report.miss_rate(), 2)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Paper shape check: Lazy <= Eager for every app; Lazy-ext <= Lazy.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Figure 9: overhead analysis on the future machine of §4.3 for
+// lazy, lazier, eager, and sequentially-consistent protocols.
+//
+// Expected shape: the lazy protocols trade increased synchronization time
+// for decreased read latency and write-buffer stall time; the trade is
+// more profitable than on the base machine.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lrc;
+  auto opt = bench::Options::parse(argc, argv);
+  opt.future = true;
+  bench::print_header(opt, "Future machine overhead analysis",
+                      "paper Figure 9");
+
+  stats::Table table({"Application", "Protocol", "cpu", "read", "write",
+                      "sync", "total"});
+  for (const auto* app : bench::selected_apps(opt)) {
+    const auto sc = bench::run_app(*app, core::ProtocolKind::kSC, opt);
+    const auto erc = bench::run_app(*app, core::ProtocolKind::kERC, opt);
+    const auto lrc_r = bench::run_app(*app, core::ProtocolKind::kLRC, opt);
+    const auto ext = bench::run_app(*app, core::ProtocolKind::kLRCExt, opt);
+    const double base = static_cast<double>(sc.report.breakdown.total());
+    auto add = [&](const char* proto, const core::Report& r) {
+      auto pct = [&](stats::StallKind k) {
+        return stats::Table::pct(r.breakdown[k] / base, 1);
+      };
+      table.add_row({std::string(app->name), proto,
+                     pct(stats::StallKind::kCpu), pct(stats::StallKind::kRead),
+                     pct(stats::StallKind::kWrite),
+                     pct(stats::StallKind::kSync),
+                     stats::Table::pct(r.breakdown.total() / base, 1)});
+    };
+    add("LRC", lrc_r.report);
+    add("LRC-ext", ext.report);
+    add("ERC", erc.report);
+    add("SC", sc.report);
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,176 @@
+#include "bench/harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace lrc::bench {
+
+namespace {
+
+[[noreturn]] void usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --procs N        processors (default 64, max 64)\n"
+      "  --scale S        test | bench | paper (default bench)\n"
+      "  --quick          alias for --scale test --procs 8\n"
+      "  --paper-scale    alias for --scale paper\n"
+      "  --apps a,b,...   subset of: gauss fft blu barnes cholesky\n"
+      "                   locusroute mp3d (default: all)\n"
+      "  --seed N         workload generator seed (default 1)\n"
+      "  --cache-kb N     override cache size\n"
+      "  --line N         override cache line size (bytes)\n"
+      "  --no-validate    skip result validation\n",
+      prog);
+  std::exit(2);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+Options Options::parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--procs") {
+      opt.procs = static_cast<unsigned>(std::stoul(next()));
+      if (opt.procs == 0 || opt.procs > kMaxProcs) usage(argv[0]);
+    } else if (arg == "--scale") {
+      const std::string s = next();
+      if (s == "test") {
+        opt.scale = Scale::kTest;
+      } else if (s == "bench") {
+        opt.scale = Scale::kBench;
+      } else if (s == "paper") {
+        opt.scale = Scale::kPaper;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--quick") {
+      opt.scale = Scale::kTest;
+      opt.procs = 8;
+    } else if (arg == "--paper-scale") {
+      opt.scale = Scale::kPaper;
+    } else if (arg == "--apps") {
+      opt.apps = split_csv(next());
+      for (const auto& a : opt.apps) {
+        if (apps::find_app(a) == nullptr) {
+          std::fprintf(stderr, "unknown app: %s\n", a.c_str());
+          usage(argv[0]);
+        }
+      }
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(next());
+    } else if (arg == "--cache-kb") {
+      opt.cache_bytes = static_cast<std::uint32_t>(std::stoul(next())) * 1024;
+    } else if (arg == "--line") {
+      opt.line_bytes = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--no-validate") {
+      opt.validate = false;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return opt;
+}
+
+core::SystemParams make_params(const Options& opt) {
+  core::SystemParams p = opt.future
+                             ? core::SystemParams::future_machine(opt.procs)
+                             : core::SystemParams::paper_default(opt.procs);
+  switch (opt.scale) {
+    case Scale::kTest:
+      p.cache_bytes = 4 * 1024;
+      break;
+    case Scale::kBench:
+      // Inputs are ~1/5 the paper's data volume; caches shrink in step so
+      // capacity/conflict misses keep their paper-scale role (the paper
+      // itself scaled caches down with its inputs, §3).
+      p.cache_bytes = 32 * 1024;
+      break;
+    case Scale::kPaper:
+      break;  // Table 1 values
+  }
+  if (opt.cache_bytes != 0) p.cache_bytes = opt.cache_bytes;
+  if (opt.line_bytes != 0) p.line_bytes = opt.line_bytes;
+  p.seed = opt.seed;
+  return p;
+}
+
+std::vector<const apps::AppInfo*> selected_apps(const Options& opt) {
+  std::vector<const apps::AppInfo*> out;
+  for (const auto& a : apps::registry()) {
+    if (opt.apps.empty()) {
+      out.push_back(&a);
+      continue;
+    }
+    for (const auto& sel : opt.apps) {
+      if (a.name == sel) out.push_back(&a);
+    }
+  }
+  return out;
+}
+
+RunResult run_app(const apps::AppInfo& info, core::ProtocolKind kind,
+                  const Options& opt) {
+  core::Machine m(make_params(opt), kind);
+  apps::AppConfig cfg;
+  cfg.seed = opt.seed;
+  cfg.validate = opt.validate;
+  switch (opt.scale) {
+    case Scale::kTest:
+      cfg.n = info.test_n;
+      cfg.steps = info.test_steps;
+      break;
+    case Scale::kBench:
+      cfg.n = info.bench_n;
+      cfg.steps = info.bench_steps;
+      break;
+    case Scale::kPaper:
+      cfg.n = info.paper_n;
+      cfg.steps = info.paper_steps;
+      break;
+  }
+  RunResult r;
+  r.app = info.run(m, cfg);
+  r.report = m.report();
+  if (opt.validate && !r.app.valid) {
+    std::fprintf(stderr, "WARNING: %s under %s failed validation: %s\n",
+                 std::string(info.name).c_str(),
+                 std::string(core::to_string(kind)).c_str(),
+                 r.app.detail.c_str());
+  }
+  return r;
+}
+
+void print_header(const Options& opt, const std::string& title,
+                  const std::string& paper_ref) {
+  const core::SystemParams p = make_params(opt);
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Scale: %s, %u processors, %u KB %u-byte-line caches%s\n\n",
+              opt.scale == Scale::kTest    ? "test"
+              : opt.scale == Scale::kBench ? "bench (paper inputs scaled 1:1"
+                                             " with caches)"
+                                           : "paper",
+              opt.procs, p.cache_bytes / 1024, p.line_bytes,
+              opt.future ? ", future-machine parameters (Sec. 4.3)" : "");
+  std::printf("%s\n", p.describe().c_str());
+}
+
+}  // namespace lrc::bench

@@ -1,0 +1,135 @@
+// Google-benchmark microbenchmarks of the simulator substrate itself:
+// host-side costs of the structures every simulated cycle leans on. These
+// guard the simulator's own performance (host ns/op), not simulated cycles.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hpp"
+#include "cache/coalescing_buffer.hpp"
+#include "cache/write_buffer.hpp"
+#include "mem/dram.hpp"
+#include "mesh/nic.hpp"
+#include "mesh/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+#include "sim/rng.hpp"
+#include "stats/miss_classifier.hpp"
+
+namespace {
+
+using namespace lrc;
+
+void BM_CacheHit(benchmark::State& state) {
+  cache::Cache c(128 * 1024, 128);
+  c.fill(5, cache::LineState::kReadOnly);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.find(5));
+  }
+}
+BENCHMARK(BM_CacheHit);
+
+void BM_CacheFillEvict(benchmark::State& state) {
+  cache::Cache c(128 * 1024, 128);
+  LineId l = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.fill(l++, cache::LineState::kReadWrite));
+  }
+}
+BENCHMARK(BM_CacheFillEvict);
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    for (int i = 0; i < 64; ++i) {
+      e.schedule(static_cast<Cycle>(i), [](Cycle) {});
+    }
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EngineScheduleRun);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  sim::Fiber f([] {
+    while (true) sim::Fiber::yield();
+  });
+  for (auto _ : state) {
+    f.resume();
+  }
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_NicSend(benchmark::State& state) {
+  sim::Engine engine;
+  mesh::Topology topo(64);
+  mesh::Nic nic(engine, topo, mesh::NicParams{});
+  nic.set_deliver([](const mesh::Message&, Cycle) {});
+  mesh::Message msg;
+  msg.kind = mesh::MsgKind::kReadReq;
+  msg.src = 0;
+  msg.dst = 63;
+  Cycle t = 0;
+  for (auto _ : state) {
+    nic.send(t++, msg);
+    if (engine.pending() > 1024) engine.run_some(1024);
+  }
+  engine.run();
+}
+BENCHMARK(BM_NicSend);
+
+void BM_DramAccess(benchmark::State& state) {
+  mem::Dram d(64, mem::DramParams{});
+  Cycle t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.access(0, t, 128, false));
+    t += 100;
+  }
+}
+BENCHMARK(BM_DramAccess);
+
+void BM_WriteBufferPushRetire(benchmark::State& state) {
+  cache::WriteBuffer wb(4);
+  for (auto _ : state) {
+    const int s = wb.push(7, 0x3);
+    benchmark::DoNotOptimize(wb.retire(s));
+  }
+}
+BENCHMARK(BM_WriteBufferPushRetire);
+
+void BM_CoalescingBufferAdd(benchmark::State& state) {
+  cache::CoalescingBuffer cb(16);
+  LineId l = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cb.add(l++ % 32, 0x1));
+  }
+}
+BENCHMARK(BM_CoalescingBufferAdd);
+
+void BM_MissClassify(benchmark::State& state) {
+  stats::MissClassifier mc(64, 32);
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    const auto line = static_cast<LineId>(rng.below(1024));
+    const auto p = static_cast<NodeId>(rng.below(64));
+    mc.on_write_committed(p, line, 0x1);
+    benchmark::DoNotOptimize(
+        mc.classify(p ^ 1, line, static_cast<unsigned>(rng.below(32)), false));
+    mc.on_fill(p ^ 1, line);
+    mc.on_copy_lost(p ^ 1, line, true);
+  }
+}
+BENCHMARK(BM_MissClassify);
+
+void BM_TopologyHops(benchmark::State& state) {
+  mesh::Topology topo(64);
+  sim::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        topo.hops(static_cast<NodeId>(rng.below(64)),
+                  static_cast<NodeId>(rng.below(64))));
+  }
+}
+BENCHMARK(BM_TopologyHops);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Writing your own workload against the library's public API.
+//
+// This example builds a small pipeline: a producer fills bounded buffers
+// that consumers drain, all through locks — then prints how each protocol
+// handles the migratory buffer lines. It shows the full API surface:
+// machine construction, typed shared arrays, untimed initialization,
+// locks/barriers, per-processor roles, and report inspection.
+//
+//   $ ./build/examples/custom_workload
+#include <cstdio>
+
+#include "core/machine.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace lrc;
+
+struct Result {
+  Cycle exec = 0;
+  Cycle sync = 0;
+  std::int64_t items = 0;
+};
+
+Result run(core::ProtocolKind kind) {
+  auto params = core::SystemParams::paper_default(8);
+  core::Machine m(params, kind);
+
+  constexpr unsigned kSlots = 8;
+  constexpr unsigned kItems = 256;           // per producer
+  constexpr SyncId kSlotLock = 100;          // + slot index
+  constexpr SyncId kBarrier = 0;
+
+  auto buffer = m.alloc<double>(kSlots * 16, "buffer");   // one line per slot
+  auto full = m.alloc<std::int32_t>(kSlots * 32, "full"); // padded flags
+  auto consumed = m.alloc<std::int64_t>(8, "consumed");
+
+  // Untimed setup.
+  for (unsigned s = 0; s < kSlots; ++s) {
+    m.poke_mem(full.addr(s * 32), std::int32_t{0});
+  }
+
+  m.run([&](core::Cpu& cpu) {
+    if (cpu.id() < 2) {
+      // Producers: write an item into any empty slot.
+      for (unsigned produced = 0; produced < kItems;) {
+        for (unsigned s = 0; s < kSlots && produced < kItems; ++s) {
+          cpu.lock(kSlotLock + s);
+          if (full.get(cpu, s * 32) == 0) {
+            buffer.put(cpu, s * 16, static_cast<double>(produced));
+            full.put(cpu, s * 32, 1);
+            ++produced;
+          }
+          cpu.unlock(kSlotLock + s);
+        }
+        cpu.compute(50);
+      }
+    } else {
+      // Consumers: drain slots until the producers are done and all slots
+      // are empty. (Completion detected via a consumed-count target.)
+      const std::int64_t target = 2 * kItems;
+      while (true) {
+        cpu.lock(7);  // shared tally lock
+        const std::int64_t done = consumed.get(cpu, 0);
+        cpu.unlock(7);
+        if (done >= target) break;
+        for (unsigned s = 0; s < kSlots; ++s) {
+          cpu.lock(kSlotLock + s);
+          if (full.get(cpu, s * 32) == 1) {
+            (void)buffer.get(cpu, s * 16);
+            full.put(cpu, s * 32, 0);
+            cpu.unlock(kSlotLock + s);
+            cpu.lock(7);
+            consumed.put(cpu, 0, consumed.get(cpu, 0) + 1);
+            consumed.put(cpu, 1 + cpu.id() % 7,
+                         consumed.get(cpu, 1 + cpu.id() % 7) + 1);
+            cpu.unlock(7);
+          } else {
+            cpu.unlock(kSlotLock + s);
+          }
+        }
+        cpu.compute(100);
+      }
+    }
+    cpu.barrier(kBarrier);
+  });
+
+  Result res;
+  const auto r = m.report();
+  res.exec = r.execution_time;
+  res.sync = r.breakdown[stats::StallKind::kSync];
+  res.items = m.peek<std::int64_t>(consumed.addr(0));
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("producer/consumer pipeline: 2 producers, 6 consumers,\n"
+              "8 lock-protected single-line buffer slots, 512 items total\n\n");
+  stats::Table table({"Protocol", "Exec cycles", "Sync cycles", "Items"});
+  for (auto kind : {core::ProtocolKind::kSC, core::ProtocolKind::kERC,
+                    core::ProtocolKind::kLRC, core::ProtocolKind::kLRCExt}) {
+    const Result r = run(kind);
+    table.add_row({std::string(core::to_string(kind)),
+                   stats::Table::count(r.exec), stats::Table::count(r.sync),
+                   stats::Table::count(static_cast<std::uint64_t>(r.items))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("All rows must show Items = 512: locks make the pipeline\n"
+              "race-free under every consistency model.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// False-sharing demonstration: the experiment at the heart of the paper.
+//
+// Each processor repeatedly increments its own counter. In the "packed"
+// layout all counters share one cache line (pure false sharing); in the
+// "padded" layout each counter has a line to itself. Under eager RC every
+// write invalidates every other processor's copy and the line ping-pongs;
+// under lazy RC the writers coexist (multiple-writer Weak state) and only
+// synchronization points cost anything.
+//
+//   $ ./build/examples/false_sharing_demo
+#include <cstdio>
+
+#include "core/machine.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace lrc;
+
+core::Report run(core::ProtocolKind kind, bool padded, unsigned iters) {
+  auto params = core::SystemParams::paper_default(16);
+  core::Machine m(params, kind);
+  const unsigned stride =
+      padded ? params.line_bytes / sizeof(std::int64_t) : 1;
+  auto counters = m.alloc<std::int64_t>(16 * stride, "counters");
+
+  m.run([&](core::Cpu& cpu) {
+    const std::size_t mine = cpu.id() * stride;
+    for (unsigned i = 0; i < iters; ++i) {
+      counters.put(cpu, mine, counters.get(cpu, mine) + 1);
+      cpu.compute(8);  // a little real work between updates
+    }
+    cpu.barrier(0);
+  });
+  return m.report();
+}
+
+}  // namespace
+
+int main() {
+  constexpr unsigned kIters = 300;
+  std::printf(
+      "16 processors, %u increments each to per-processor counters.\n"
+      "packed: all counters on one 128-byte line (pure false sharing)\n"
+      "padded: one counter per line (no sharing at all)\n\n",
+      kIters);
+
+  stats::Table table({"Protocol", "Layout", "Exec cycles", "Miss rate",
+                      "False-sharing misses", "Messages"});
+  for (auto kind : {core::ProtocolKind::kERC, core::ProtocolKind::kLRC}) {
+    for (bool padded : {false, true}) {
+      const auto r = run(kind, padded, kIters);
+      table.add_row(
+          {std::string(core::to_string(kind)), padded ? "padded" : "packed",
+           stats::Table::count(r.execution_time),
+           stats::Table::pct(r.miss_rate(), 2),
+           stats::Table::count(
+               r.miss_classes[stats::MissClass::kFalseSharing]),
+           stats::Table::count(r.nic.messages)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected: with the packed layout ERC thrashes (every write "
+      "invalidates 15\nread-only copies) while LRC keeps writers "
+      "concurrent; with padding the two\nprotocols converge. This is the "
+      "effect behind the paper's mp3d/locusroute\nresults.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Command-line front end for the seven paper applications: pick an app,
+// protocol, size and processor count, run it, and print the full report.
+//
+//   $ ./build/examples/run_app mp3d LRC --procs 32 --n 2000
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/app.hpp"
+#include "core/machine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lrc;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <app> <SC|ERC|LRC|LRC-ext> [--procs N] [--n N]\n"
+                 "          [--steps N] [--seed N] [--cache-kb N] [--future]\n"
+                 "apps:",
+                 argv[0]);
+    for (const auto& a : apps::registry()) {
+      std::fprintf(stderr, " %s", std::string(a.name).c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  const auto* info = apps::find_app(argv[1]);
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown app: %s\n", argv[1]);
+    return 2;
+  }
+  core::ProtocolKind kind;
+  const std::string pk = argv[2];
+  if (pk == "SC") {
+    kind = core::ProtocolKind::kSC;
+  } else if (pk == "ERC") {
+    kind = core::ProtocolKind::kERC;
+  } else if (pk == "LRC") {
+    kind = core::ProtocolKind::kLRC;
+  } else if (pk == "LRC-ext") {
+    kind = core::ProtocolKind::kLRCExt;
+  } else {
+    std::fprintf(stderr, "unknown protocol: %s\n", pk.c_str());
+    return 2;
+  }
+
+  unsigned procs = 64;
+  bool future = false;
+  std::uint32_t cache_kb = 32;
+  apps::AppConfig cfg;
+  cfg.n = info->bench_n;
+  cfg.steps = info->bench_steps;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() { return std::stoul(argv[++i]); };
+    if (arg == "--procs") {
+      procs = static_cast<unsigned>(next());
+    } else if (arg == "--n") {
+      cfg.n = static_cast<unsigned>(next());
+    } else if (arg == "--steps") {
+      cfg.steps = static_cast<unsigned>(next());
+    } else if (arg == "--seed") {
+      cfg.seed = next();
+    } else if (arg == "--cache-kb") {
+      cache_kb = static_cast<std::uint32_t>(next());
+    } else if (arg == "--future") {
+      future = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  auto params = future ? core::SystemParams::future_machine(procs)
+                       : core::SystemParams::paper_default(procs);
+  params.cache_bytes = cache_kb * 1024;
+  core::Machine m(params, kind);
+  const auto res = info->run(m, cfg);
+  const auto r = m.report();
+  std::printf("%s\nvalidation: %s (%s)\n", r.summary().c_str(),
+              res.valid ? "OK" : "FAILED", res.detail.c_str());
+  return res.valid ? 0 : 1;
+}

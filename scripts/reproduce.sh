@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Reproduces every paper artifact and ablation end-to-end:
+# build, run the full test suite, then every benchmark binary.
+#
+#   scripts/reproduce.sh            # bench scale (default, minutes)
+#   scripts/reproduce.sh --quick    # smoke scale (seconds)
+#   scripts/reproduce.sh --paper-scale   # original inputs (hours)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE_ARGS=("$@")
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+# Optional: the Debug build enables the protocols' internal assertions.
+if [[ "${LRCSIM_DEBUG_SWEEP:-0}" == "1" ]]; then
+  cmake -B build-debug -G Ninja -DCMAKE_BUILD_TYPE=Debug
+  cmake --build build-debug
+  ctest --test-dir build-debug
+fi
+
+{
+  for b in build/bench/*; do
+    [[ -f "$b" && -x "$b" ]] || continue
+    echo "===== $(basename "$b") ====="
+    if [[ "$(basename "$b")" == micro_substrate ]]; then
+      "$b"   # google-benchmark flags differ; always run as-is
+    else
+      "$b" "${SCALE_ARGS[@]}"
+    fi
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "Done. See test_output.txt and bench_output.txt; compare the tables"
+echo "against EXPERIMENTS.md."

@@ -1,0 +1,64 @@
+// Workload interface: each application is re-implemented from its published
+// algorithm against the Cpu API, with scalable problem sizes (DESIGN.md §4).
+// Initialization happens untimed through the backing store; the measured
+// region is exactly the SPMD body; validation runs untimed afterwards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/machine.hpp"
+
+namespace lrc::apps {
+
+struct AppConfig {
+  /// Primary problem size (matrix order, FFT points, bodies, particles,
+  /// wires, columns — per app). 0 selects the app's bench default.
+  unsigned n = 0;
+  /// Time steps / iterations where the app has them. 0 = default.
+  unsigned steps = 0;
+  std::uint64_t seed = 1;
+  bool validate = true;
+  /// For the racy applications (locusroute, mp3d): issue a consistency
+  /// fence every `fence_every` work items (0 = never). Paper §4.2 proposes
+  /// fences to bound the staleness the lazy protocols allow.
+  unsigned fence_every = 0;
+};
+
+struct AppResult {
+  bool valid = true;
+  std::string detail;  // human-readable validation summary
+};
+
+using AppFn = AppResult (*)(core::Machine&, const AppConfig&);
+
+struct AppInfo {
+  std::string_view name;
+  std::string_view description;
+  AppFn run;
+  unsigned bench_n;     // default size used by the benchmark harness
+  unsigned bench_steps;
+  unsigned test_n;      // small size used by the test suite
+  unsigned test_steps;
+  unsigned paper_n;     // the paper's input size (slow on one host core)
+  unsigned paper_steps;
+};
+
+/// All seven applications, in the paper's order.
+const std::vector<AppInfo>& registry();
+
+/// Lookup by name; nullptr if unknown.
+const AppInfo* find_app(std::string_view name);
+
+// Individual entry points (also reachable through the registry).
+AppResult run_gauss(core::Machine& m, const AppConfig& cfg);
+AppResult run_fft(core::Machine& m, const AppConfig& cfg);
+AppResult run_blu(core::Machine& m, const AppConfig& cfg);
+AppResult run_barnes(core::Machine& m, const AppConfig& cfg);
+AppResult run_cholesky(core::Machine& m, const AppConfig& cfg);
+AppResult run_locusroute(core::Machine& m, const AppConfig& cfg);
+AppResult run_mp3d(core::Machine& m, const AppConfig& cfg);
+
+}  // namespace lrc::apps

@@ -1,0 +1,158 @@
+// Locusroute: VLSI standard-cell router (paper: Primary2.grin, 3029 wires;
+// ours: a synthetic wire set over a shared cost grid — the circuit file is
+// not available offline, and the synthetic router preserves what matters:
+// concurrent unsynchronized read-modify-write traffic on a shared dense
+// cost array, giving the heavy false sharing (and benign data races) the
+// paper reports for locusroute).
+//
+// Each wire evaluates a handful of two-bend candidate routes by summing the
+// occupancy of the cells they cross, picks the cheapest, and increments the
+// cells along it. Wires are handed out through a shared counter; grid
+// updates are racy by design (the paper discusses exactly this).
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "sim/rng.hpp"
+
+namespace lrc::apps {
+
+namespace {
+
+constexpr SyncId kBarrier = 0;
+constexpr SyncId kWorkLock = 1;
+
+struct Wire {
+  std::int32_t r0, c0, r1, c1;
+};
+
+}  // namespace
+
+AppResult run_locusroute(core::Machine& m, const AppConfig& cfg) {
+  const unsigned wires = cfg.n != 0 ? cfg.n : 2048;
+  const unsigned rows = 48;
+  const unsigned cols = 160;
+
+  auto GRID = m.alloc<std::int32_t>(static_cast<std::size_t>(rows) * cols,
+                                    "locus.grid");
+  auto WX = m.alloc<std::int32_t>(4 * wires, "locus.wires");
+  auto WORK = m.alloc<std::int32_t>(1, "locus.work");
+
+  sim::Rng rng(cfg.seed);
+  std::vector<Wire> ws(wires);
+  std::uint64_t expected_len = 0;
+  for (unsigned i = 0; i < wires; ++i) {
+    Wire& wr = ws[i];
+    wr.r0 = static_cast<std::int32_t>(rng.below(rows));
+    wr.c0 = static_cast<std::int32_t>(rng.below(cols));
+    // Mostly-local wires: bounded Manhattan span, like cell-to-cell nets.
+    wr.r1 = static_cast<std::int32_t>(
+        std::min<std::uint64_t>(rows - 1, wr.r0 + rng.below(8)));
+    wr.c1 = static_cast<std::int32_t>(
+        std::min<std::uint64_t>(cols - 1, wr.c0 + rng.below(32)));
+    m.poke_mem(WX.addr(4 * i + 0), wr.r0);
+    m.poke_mem(WX.addr(4 * i + 1), wr.c0);
+    m.poke_mem(WX.addr(4 * i + 2), wr.r1);
+    m.poke_mem(WX.addr(4 * i + 3), wr.c1);
+    expected_len += static_cast<std::uint64_t>(
+        std::abs(wr.r1 - wr.r0) + std::abs(wr.c1 - wr.c0) + 1);
+  }
+  for (unsigned i = 0; i < rows * cols; ++i) {
+    m.poke_mem(GRID.addr(i), std::int32_t{0});
+  }
+  m.poke_mem(WORK.addr(0), std::int32_t{0});
+
+  m.run([&](core::Cpu& cpu) {
+    auto cell = [&](std::int32_t r, std::int32_t c) {
+      return static_cast<std::size_t>(r) * cols + static_cast<std::size_t>(c);
+    };
+    // Walks a two-bend route: horizontal at `rbend`, vertical elsewhere.
+    // visit(index) is called once per cell on the route.
+    auto walk = [&](const Wire& wr, std::int32_t rbend, auto&& visit) {
+      const std::int32_t rstep = wr.r1 >= wr.r0 ? 1 : -1;
+      for (std::int32_t r = wr.r0; r != rbend; r += rstep) {
+        visit(cell(r, wr.c0));
+      }
+      const std::int32_t cstep = wr.c1 >= wr.c0 ? 1 : -1;
+      for (std::int32_t c = wr.c0; c != wr.c1; c += cstep) {
+        visit(cell(rbend, c));
+      }
+      for (std::int32_t r = rbend; r != wr.r1; r += rstep) {
+        visit(cell(r, wr.c1));
+      }
+      visit(cell(wr.r1, wr.c1));
+    };
+
+    constexpr std::int32_t kBatch = 16;  // wires claimed per queue visit
+    while (true) {
+      cpu.lock(kWorkLock);
+      const std::int32_t first = WORK.get(cpu, 0);
+      if (first >= static_cast<std::int32_t>(wires)) {
+        cpu.unlock(kWorkLock);
+        break;
+      }
+      const std::int32_t last = std::min(first + kBatch,
+                                         static_cast<std::int32_t>(wires));
+      WORK.put(cpu, 0, last);
+      cpu.unlock(kWorkLock);
+
+      for (std::int32_t i = first; i < last; ++i) {
+      if (cfg.fence_every != 0 &&
+          static_cast<unsigned>(i) % cfg.fence_every == 0) {
+        cpu.fence();  // bound invalidation staleness (paper Sec. 4.2)
+      }
+      Wire wr;
+      wr.r0 = WX.get(cpu, 4 * i + 0);
+      wr.c0 = WX.get(cpu, 4 * i + 1);
+      wr.r1 = WX.get(cpu, 4 * i + 2);
+      wr.c1 = WX.get(cpu, 4 * i + 3);
+
+      // Candidate bend rows: endpoints plus a midpoint.
+      const std::int32_t cands[3] = {wr.r0, wr.r1,
+                                     static_cast<std::int32_t>((wr.r0 + wr.r1) / 2)};
+      std::int64_t best_cost = -1;
+      std::int32_t best = wr.r0;
+      for (std::int32_t rb : cands) {
+        std::int64_t cost = 0;
+        walk(wr, rb, [&](std::size_t idx) {
+          cost += GRID.get(cpu, idx);
+          cpu.compute(3);  // congestion cost function per cell
+        });
+        if (best_cost < 0 || cost < best_cost) {
+          best_cost = cost;
+          best = rb;
+        }
+      }
+      // Claim the route: unsynchronized read-modify-writes (benign races).
+      walk(wr, best, [&](std::size_t idx) {
+        GRID.put(cpu, idx, GRID.get(cpu, idx) + 1);
+        cpu.compute(1);
+      });
+      }
+    }
+    cpu.barrier(kBarrier);
+  });
+
+  AppResult res;
+  if (cfg.validate) {
+    // Races may lose increments but can never invent them; require most of
+    // the expected occupancy to have landed.
+    std::uint64_t total = 0;
+    std::int32_t min_cell = 0;
+    for (unsigned i = 0; i < rows * cols; ++i) {
+      const auto v = m.peek<std::int32_t>(GRID.addr(i));
+      total += static_cast<std::uint64_t>(std::max<std::int32_t>(v, 0));
+      min_cell = std::min(min_cell, v);
+    }
+    res.valid = min_cell >= 0 && total <= expected_len &&
+                total * 10 >= expected_len * 9;
+    std::ostringstream os;
+    os << "locusroute wires=" << wires << " occupancy=" << total << "/"
+       << expected_len;
+    res.detail = os.str();
+  }
+  return res;
+}
+
+}  // namespace lrc::apps

@@ -1,0 +1,36 @@
+#include "apps/app.hpp"
+
+namespace lrc::apps {
+
+const std::vector<AppInfo>& registry() {
+  // Bench sizes follow DESIGN.md §4 (paper inputs scaled with the caches);
+  // test sizes keep the suite fast; paper sizes are the original inputs
+  // (§3 of the paper) and are slow on a single host core.
+  static const std::vector<AppInfo> apps = {
+      {"gauss", "Gaussian elimination without pivoting", &run_gauss,
+       /*bench=*/192, 0, /*test=*/48, 0, /*paper=*/448, 0},
+      {"fft", "1-D radix-2 FFT", &run_fft,
+       /*bench=*/65536, 0, /*test=*/256, 0, /*paper=*/65536, 0},
+      {"blu", "blocked right-looking LU decomposition", &run_blu,
+       /*bench=*/136, 0, /*test=*/48, 0, /*paper=*/452, 0},
+      {"barnes", "Barnes-Hut N-body simulation", &run_barnes,
+       /*bench=*/512, 4, /*test=*/96, 2, /*paper=*/4096, 4},
+      {"cholesky", "banded sparse Cholesky factorization", &run_cholesky,
+       /*bench=*/600, 0, /*test=*/120, 0, /*paper=*/3948, 0},
+      {"locusroute", "standard-cell router over a shared cost grid",
+       &run_locusroute, /*bench=*/2048, 0, /*test=*/192, 0, /*paper=*/3029,
+       0},
+      {"mp3d", "wind-tunnel particle simulation", &run_mp3d,
+       /*bench=*/8000, 10, /*test=*/600, 3, /*paper=*/40000, 10},
+  };
+  return apps;
+}
+
+const AppInfo* find_app(std::string_view name) {
+  for (const auto& a : registry()) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+}  // namespace lrc::apps

@@ -1,0 +1,68 @@
+#include "cache/cache.hpp"
+
+#include <stdexcept>
+
+namespace lrc::cache {
+
+namespace {
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Cache::Cache(std::uint32_t cache_bytes, std::uint32_t line_bytes)
+    : line_bytes_(line_bytes) {
+  if (!is_pow2(cache_bytes) || !is_pow2(line_bytes) ||
+      cache_bytes < line_bytes) {
+    throw std::invalid_argument(
+        "Cache: sizes must be powers of two with cache >= line");
+  }
+  const std::uint32_t nsets = cache_bytes / line_bytes;
+  sets_.resize(nsets);
+  set_mask_ = nsets - 1;
+}
+
+CacheLine* Cache::find(LineId line) {
+  CacheLine& l = sets_[set_of(line)];
+  if (l.state != LineState::kInvalid && l.line == line) return &l;
+  return nullptr;
+}
+
+const CacheLine* Cache::find(LineId line) const {
+  const CacheLine& l = sets_[set_of(line)];
+  if (l.state != LineState::kInvalid && l.line == line) return &l;
+  return nullptr;
+}
+
+const CacheLine* Cache::victim_for(LineId line) const {
+  const CacheLine& l = sets_[set_of(line)];
+  if (l.state != LineState::kInvalid && l.line != line) return &l;
+  return nullptr;
+}
+
+std::optional<CacheLine> Cache::fill(LineId line, LineState state) {
+  CacheLine& slot = sets_[set_of(line)];
+  std::optional<CacheLine> victim;
+  if (slot.state != LineState::kInvalid && slot.line != line) {
+    victim = slot;
+    ++stats_.evictions;
+    slot.dirty = 0;  // displaced: fresh install starts clean
+  } else if (slot.state == LineState::kInvalid) {
+    slot.dirty = 0;  // fresh install; refills of the resident line keep dirty
+  }
+  slot.line = line;
+  slot.state = state;
+  return victim;
+}
+
+std::optional<CacheLine> Cache::invalidate(LineId line) {
+  CacheLine& slot = sets_[set_of(line)];
+  if (slot.state == LineState::kInvalid || slot.line != line) {
+    return std::nullopt;
+  }
+  CacheLine removed = slot;
+  slot.state = LineState::kInvalid;
+  slot.dirty = 0;
+  ++stats_.invalidations;
+  return removed;
+}
+
+}  // namespace lrc::cache

@@ -1,0 +1,93 @@
+// Direct-mapped processor cache with the paper's *local* line states:
+// Invalid, ReadOnly, ReadWrite. The global coherence state (Uncached /
+// Shared / Dirty / Weak) lives in the directory; this class only detects
+// the accesses that must trigger protocol transactions and models
+// replacement.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace lrc::cache {
+
+enum class LineState : std::uint8_t { kInvalid, kReadOnly, kReadWrite };
+
+struct CacheLine {
+  LineId line = 0;                   // global line number (tag + index)
+  LineState state = LineState::kInvalid;
+  WordMask dirty = 0;                // dirty words (write-back protocols)
+};
+
+struct CacheStats {
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_hits = 0;        // writes to ReadWrite lines
+  std::uint64_t write_misses = 0;      // writes to Invalid lines
+  std::uint64_t upgrade_misses = 0;    // writes to ReadOnly lines
+  std::uint64_t evictions = 0;         // replacement-caused victims
+  std::uint64_t invalidations = 0;     // coherence-caused victims
+
+  std::uint64_t references() const {
+    return read_hits + read_misses + write_hits + write_misses +
+           upgrade_misses;
+  }
+  std::uint64_t misses() const {
+    return read_misses + write_misses + upgrade_misses;
+  }
+  double miss_rate() const {
+    const auto refs = references();
+    return refs ? static_cast<double>(misses()) / static_cast<double>(refs)
+                : 0.0;
+  }
+};
+
+class Cache {
+ public:
+  /// `cache_bytes` and `line_bytes` must be powers of two.
+  Cache(std::uint32_t cache_bytes, std::uint32_t line_bytes);
+
+  std::uint32_t line_bytes() const { return line_bytes_; }
+  std::uint32_t num_sets() const { return static_cast<std::uint32_t>(sets_.size()); }
+
+  /// Returns the resident copy of `line`, or nullptr.
+  CacheLine* find(LineId line);
+  const CacheLine* find(LineId line) const;
+
+  /// Installs `line` in `state`, evicting the direct-mapped victim if any.
+  /// Returns the victim (valid lines only) so the protocol can write back /
+  /// notify home. Counts as an eviction in stats.
+  std::optional<CacheLine> fill(LineId line, LineState state);
+
+  /// Would installing `line` displace a valid different line? (peek only)
+  const CacheLine* victim_for(LineId line) const;
+
+  /// Removes `line` due to a coherence action; returns the removed copy.
+  std::optional<CacheLine> invalidate(LineId line);
+
+  /// State accounting helpers.
+  CacheStats& stats() { return stats_; }
+  const CacheStats& stats() const { return stats_; }
+
+  /// Iterates all valid lines (used by flush/finalize paths and tests).
+  template <typename Fn>
+  void for_each_valid(Fn&& fn) {
+    for (auto& l : sets_) {
+      if (l.state != LineState::kInvalid) fn(l);
+    }
+  }
+
+ private:
+  std::uint32_t set_of(LineId line) const {
+    return static_cast<std::uint32_t>(line & set_mask_);
+  }
+
+  std::uint32_t line_bytes_;
+  std::uint64_t set_mask_;
+  std::vector<CacheLine> sets_;
+  CacheStats stats_;
+};
+
+}  // namespace lrc::cache

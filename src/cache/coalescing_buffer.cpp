@@ -1,0 +1,46 @@
+#include "cache/coalescing_buffer.hpp"
+
+#include <algorithm>
+
+namespace lrc::cache {
+
+std::optional<CoalescingBuffer::Entry> CoalescingBuffer::add(LineId line,
+                                                             WordMask words) {
+  ++stats_.writes;
+  for (auto& e : fifo_) {
+    if (e.line == line) {
+      e.words |= words;
+      ++stats_.merges;
+      return std::nullopt;
+    }
+  }
+  std::optional<Entry> victim;
+  if (fifo_.size() == capacity_) {
+    victim = fifo_.front();
+    fifo_.pop_front();
+    ++stats_.flushes;
+    ++stats_.capacity_flushes;
+  }
+  fifo_.push_back(Entry{line, words});
+  return victim;
+}
+
+std::optional<CoalescingBuffer::Entry> CoalescingBuffer::pop() {
+  if (fifo_.empty()) return std::nullopt;
+  Entry e = fifo_.front();
+  fifo_.pop_front();
+  ++stats_.flushes;
+  return e;
+}
+
+std::optional<CoalescingBuffer::Entry> CoalescingBuffer::pop_line(LineId line) {
+  auto it = std::find_if(fifo_.begin(), fifo_.end(),
+                         [line](const Entry& e) { return e.line == line; });
+  if (it == fifo_.end()) return std::nullopt;
+  Entry e = *it;
+  fifo_.erase(it);
+  ++stats_.flushes;
+  return e;
+}
+
+}  // namespace lrc::cache

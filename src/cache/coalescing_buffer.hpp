@@ -1,0 +1,59 @@
+// Jouppi-style coalescing write buffer placed between a write-through
+// cache and the memory system (16 entries in the paper). Writes to the
+// same line merge; a full buffer evicts its oldest entry to memory.
+// The LRC protocols use it to get word-granularity memory updates without
+// per-word dirty bits in the cache, and to overlap memory updates with
+// computation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace lrc::cache {
+
+struct CoalescingStats {
+  std::uint64_t writes = 0;
+  std::uint64_t merges = 0;    // writes absorbed by an existing entry
+  std::uint64_t flushes = 0;   // entries sent to memory
+  std::uint64_t capacity_flushes = 0;  // flushes forced by a full buffer
+};
+
+class CoalescingBuffer {
+ public:
+  explicit CoalescingBuffer(unsigned entries) : capacity_(entries) {}
+
+  struct Entry {
+    LineId line = 0;
+    WordMask words = 0;
+  };
+
+  unsigned capacity() const { return capacity_; }
+  unsigned size() const { return static_cast<unsigned>(fifo_.size()); }
+  bool empty() const { return fifo_.empty(); }
+
+  /// Records a write of `words` within `line`. If the buffer was full and
+  /// no entry matched, the oldest entry is popped and returned; the caller
+  /// must send it to memory.
+  std::optional<Entry> add(LineId line, WordMask words);
+
+  /// Pops the oldest entry (used when draining at a release).
+  std::optional<Entry> pop();
+
+  /// Pops the entry for `line` if present (eviction of a dirty line must
+  /// force its pending words out before the line leaves the cache).
+  std::optional<Entry> pop_line(LineId line);
+
+  CoalescingStats& stats() { return stats_; }
+  const CoalescingStats& stats() const { return stats_; }
+
+ private:
+  unsigned capacity_;
+  std::deque<Entry> fifo_;
+  CoalescingStats stats_;
+};
+
+}  // namespace lrc::cache

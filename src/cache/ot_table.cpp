@@ -1,0 +1,17 @@
+#include "cache/ot_table.hpp"
+
+namespace lrc::cache {
+
+OtEntry& OtTable::get_or_create(LineId line, bool* created) {
+  auto [it, inserted] = map_.try_emplace(line);
+  if (inserted) {
+    it->second.line = line;
+    ++stats_.allocated;
+  } else {
+    ++stats_.merged;
+  }
+  if (created != nullptr) *created = inserted;
+  return it->second;
+}
+
+}  // namespace lrc::cache

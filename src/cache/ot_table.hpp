@@ -1,0 +1,61 @@
+// Outstanding-transaction table: the equivalent of DASH's RAC entries
+// (one per in-flight coherence transaction at a node). Requests to the same
+// line merge into a single entry; the release operation waits for the table
+// to drain ("all outstanding request data structures have been deallocated").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hpp"
+
+namespace lrc::cache {
+
+struct OtEntry {
+  LineId line = 0;
+  bool data_pending = false;    // a data reply is owed
+  unsigned acks_pending = 0;    // write/upgrade acknowledgements owed
+  bool cpu_read_waiting = false;   // processor is blocked on the data
+  bool cpu_write_waiting = false;  // processor is blocked on retire (SC)
+  bool want_write = false;      // fill should install ReadWrite, not ReadOnly
+  int wb_slot = -1;             // write-buffer slot retiring on completion
+  WordMask words = 0;           // words written while the fetch was in flight
+
+  bool done() const { return !data_pending && acks_pending == 0; }
+};
+
+struct OtStats {
+  std::uint64_t allocated = 0;
+  std::uint64_t merged = 0;  // accesses absorbed by an existing entry
+};
+
+class OtTable {
+ public:
+  bool empty() const { return map_.empty(); }
+  std::size_t size() const { return map_.size(); }
+
+  OtEntry* find(LineId line) {
+    auto it = map_.find(line);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Returns the entry for `line`, creating it if needed. `created` tells
+  /// the caller whether a new transaction must be initiated.
+  OtEntry& get_or_create(LineId line, bool* created);
+
+  void erase(LineId line) { map_.erase(line); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& [line, e] : map_) fn(e);
+  }
+
+  OtStats& stats() { return stats_; }
+  const OtStats& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<LineId, OtEntry> map_;
+  OtStats stats_;
+};
+
+}  // namespace lrc::cache

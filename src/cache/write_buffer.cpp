@@ -1,0 +1,45 @@
+#include "cache/write_buffer.hpp"
+
+#include <cassert>
+
+namespace lrc::cache {
+
+unsigned WriteBuffer::occupied() const {
+  unsigned n = 0;
+  for (const auto& s : slots_) n += s.valid ? 1 : 0;
+  return n;
+}
+
+int WriteBuffer::find(LineId line) const {
+  for (unsigned i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].valid && slots_[i].line == line) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int WriteBuffer::push(LineId line, WordMask words) {
+  if (int i = find(line); i >= 0) {
+    slots_[static_cast<unsigned>(i)].words |= words;
+    ++stats_.coalesced;
+    return i;
+  }
+  for (unsigned i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].valid) {
+      slots_[i] = Entry{line, words, true};
+      ++stats_.enqueued;
+      return static_cast<int>(i);
+    }
+  }
+  ++stats_.full_stalls;
+  return -1;
+}
+
+WriteBuffer::Entry WriteBuffer::retire(int idx) {
+  auto& s = slots_[static_cast<unsigned>(idx)];
+  assert(s.valid);
+  Entry out = s;
+  s = Entry{};
+  return out;
+}
+
+}  // namespace lrc::cache

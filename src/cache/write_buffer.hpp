@@ -1,0 +1,55 @@
+// The relaxed-consistency protocols' per-processor write buffer:
+// fixed entry count (4 in the paper), reads bypass writes, and writes to
+// the same cache line coalesce into one entry. Entries retire when the
+// owning protocol completes the associated coherence transaction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace lrc::cache {
+
+struct WriteBufferStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t coalesced = 0;  // writes merged into an existing entry
+  std::uint64_t full_stalls = 0;
+};
+
+class WriteBuffer {
+ public:
+  explicit WriteBuffer(unsigned entries) : slots_(entries) {}
+
+  unsigned capacity() const { return static_cast<unsigned>(slots_.size()); }
+  unsigned occupied() const;
+  bool full() const { return occupied() == capacity(); }
+  bool empty() const { return occupied() == 0; }
+
+  /// Index of the slot holding `line`, or -1.
+  int find(LineId line) const;
+
+  /// Adds `words` of `line` to the buffer. Coalesces into an existing slot
+  /// when possible; otherwise claims a free slot. Returns the slot index,
+  /// or -1 if the buffer is full (caller must stall and retry).
+  int push(LineId line, WordMask words);
+
+  /// Retires slot `idx`, returning its contents for write-through/back.
+  struct Entry {
+    LineId line = 0;
+    WordMask words = 0;
+    bool valid = false;
+  };
+  Entry retire(int idx);
+
+  const Entry& slot(int idx) const { return slots_[static_cast<unsigned>(idx)]; }
+
+  WriteBufferStats& stats() { return stats_; }
+  const WriteBufferStats& stats() const { return stats_; }
+
+ private:
+  std::vector<Entry> slots_;
+  WriteBufferStats stats_;
+};
+
+}  // namespace lrc::cache

@@ -1,0 +1,86 @@
+#include "core/cpu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "core/machine.hpp"
+#include "proto/protocol.hpp"
+#include "proto/sync_manager.hpp"
+
+namespace lrc::core {
+
+Cpu::Cpu(Machine& m, NodeId id)
+    : m_(m),
+      id_(id),
+      cache_(m.params().cache_bytes, m.params().line_bytes),
+      wb_(m.params().write_buffer_entries),
+      cb_(m.params().coalescing_entries) {}
+
+unsigned Cpu::nprocs() const { return m_.nprocs(); }
+
+void Cpu::compute(Cycle n) { tick(n); }
+
+void Cpu::fence() { m_.protocol().fence(*this); }
+
+void Cpu::lock(SyncId s) { m_.protocol().acquire(*this, s); }
+void Cpu::unlock(SyncId s) { m_.protocol().release(*this, s); }
+void Cpu::barrier(SyncId s) { m_.protocol().barrier(*this, s); }
+
+void Cpu::tick(Cycle n) {
+  bd_[stats::StallKind::kCpu] += n;
+  now_ += n;
+  hits_since_yield_ += n;
+  if (hits_since_yield_ >= m_.params().runahead_quantum) {
+    quantum_yield();
+  }
+}
+
+void Cpu::quantum_yield() {
+  hits_since_yield_ = 0;
+  // Re-enter the engine so messages timestamped before our run-ahead horizon
+  // get processed; we resume at our own local time.
+  resume_scheduled_ = true;
+  m_.engine().schedule(now_, [this](Cycle t) {
+    resume_scheduled_ = false;
+    now_ = std::max(now_, t);
+    fiber_->resume();
+  });
+  sim::Fiber::yield();
+}
+
+void Cpu::block(stats::StallKind k) {
+  assert(sim::Fiber::current() == fiber_.get());
+  blocked_ = true;
+  block_kind_ = k;
+  block_start_ = now_;
+  hits_since_yield_ = 0;
+  sim::Fiber::yield();
+}
+
+void Cpu::poke(Cycle t) {
+  if (!blocked_ || resume_scheduled_) return;
+  resume_scheduled_ = true;
+  m_.engine().schedule(std::max(t, now_), [this](Cycle tt) {
+    resume_scheduled_ = false;
+    if (!blocked_) return;
+    blocked_ = false;
+    bd_[block_kind_] += tt - block_start_;
+    stall_hist_[static_cast<std::size_t>(block_kind_)].add(tt - block_start_);
+    now_ = std::max(now_, tt);
+    fiber_->resume();
+  });
+}
+
+void Cpu::start(std::function<void(Cpu&)> body) {
+  body_ = std::move(body);
+  fiber_ = std::make_unique<sim::Fiber>([this] { run_body(); });
+  m_.engine().schedule(0, [this](Cycle) { fiber_->resume(); });
+}
+
+void Cpu::run_body() {
+  body_(*this);
+  m_.protocol().finalize(*this);
+}
+
+}  // namespace lrc::core

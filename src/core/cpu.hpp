@@ -1,0 +1,125 @@
+// A simulated processor: the workload-facing API (read/write/lock/unlock/
+// barrier/compute) plus the per-node hardware a protocol drives (cache,
+// write buffer, coalescing buffer, outstanding-transaction table).
+//
+// Workload code runs on a fiber owned by this class. Cache hits execute
+// inline (local clock bump); anything slower blocks the fiber until the
+// protocol completes the transaction through the event engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "cache/cache.hpp"
+#include "cache/coalescing_buffer.hpp"
+#include "cache/ot_table.hpp"
+#include "cache/write_buffer.hpp"
+#include "sim/fiber.hpp"
+#include "sim/types.hpp"
+#include "stats/counters.hpp"
+#include "stats/histogram.hpp"
+
+namespace lrc::core {
+
+class Machine;
+
+class Cpu {
+ public:
+  Cpu(Machine& m, NodeId id);
+
+  NodeId id() const { return id_; }
+  unsigned nprocs() const;
+
+  // ---- Workload API ------------------------------------------------------
+
+  /// Timed shared-memory read. T must be trivially copyable and must not
+  /// straddle a cache line.
+  template <typename T>
+  T read(Addr a);
+
+  /// Timed shared-memory write.
+  template <typename T>
+  void write(Addr a, const T& v);
+
+  /// Charges `n` cycles of local computation.
+  void compute(Cycle n);
+
+  /// Synchronization. Locks are exclusive queue locks; barriers gather all
+  /// processors in the machine.
+  void lock(SyncId s);
+  void unlock(SyncId s);
+  void barrier(SyncId s);
+
+  /// Consistency fence: forces buffered invalidations to be processed now
+  /// (paper §4.2's remedy for racy programs under lazy protocols). Free
+  /// under the eager protocols.
+  void fence();
+
+  // ---- State the protocols drive ----------------------------------------
+
+  Cycle now() const { return now_; }
+  cache::Cache& dcache() { return cache_; }
+  const cache::Cache& dcache() const { return cache_; }
+  cache::WriteBuffer& wb() { return wb_; }
+  cache::CoalescingBuffer& cb() { return cb_; }
+  cache::OtTable& ot() { return ot_; }
+  stats::CpuBreakdown& breakdown() { return bd_; }
+  const stats::CpuBreakdown& breakdown() const { return bd_; }
+
+  /// Latency distribution of the individual stalls in each category
+  /// (read-miss waits, write stalls, synchronization waits).
+  const stats::Histogram& stall_hist(stats::StallKind k) const {
+    return stall_hist_[static_cast<std::size_t>(k)];
+  }
+
+  /// Advances the local clock by `n` busy (kCpu) cycles; yields to the
+  /// engine if the run-ahead quantum is exhausted.
+  void tick(Cycle n);
+
+  /// Blocks the fiber, charging subsequent cycles to `k`, until a poke
+  /// arrives. Callers wrap this in a `while (!condition)` loop.
+  void block(stats::StallKind k);
+
+  /// Wakes a blocked fiber no earlier than `t` (engine/event context).
+  void poke(Cycle t);
+
+  /// True while the fiber is suspended in block().
+  bool blocked() const { return blocked_; }
+
+  /// Write-through acknowledgements still outstanding (LRC drain condition).
+  unsigned wt_outstanding = 0;
+
+  // ---- Machine plumbing --------------------------------------------------
+
+  void start(std::function<void(Cpu&)> body);  // create fiber, schedule at 0
+  bool finished() const { return fiber_ && fiber_->finished(); }
+  Machine& machine() { return m_; }
+
+ private:
+  friend class Machine;
+
+  void run_body();
+  void quantum_yield();
+
+  Machine& m_;
+  NodeId id_;
+  Cycle now_ = 0;
+  stats::CpuBreakdown bd_;
+
+  cache::Cache cache_;
+  cache::WriteBuffer wb_;
+  cache::CoalescingBuffer cb_;
+  cache::OtTable ot_;
+
+  std::unique_ptr<sim::Fiber> fiber_;
+  std::function<void(Cpu&)> body_;
+  bool blocked_ = false;
+  bool resume_scheduled_ = false;
+  stats::StallKind block_kind_ = stats::StallKind::kCpu;
+  Cycle block_start_ = 0;
+  Cycle hits_since_yield_ = 0;
+  std::array<stats::Histogram, stats::kStallKinds> stall_hist_;
+};
+
+}  // namespace lrc::core

@@ -1,0 +1,113 @@
+#include "core/machine.hpp"
+
+#include <stdexcept>
+
+#include "proto/sync_manager.hpp"
+
+namespace lrc::core {
+
+Machine::Machine(const SystemParams& params, ProtocolKind protocol)
+    : params_(params),
+      kind_(protocol),
+      topo_(params.nprocs),
+      nic_(engine_, topo_,
+           mesh::NicParams{params.switch_latency, params.wire_latency,
+                           params.net_bandwidth, /*header_bytes=*/8}),
+      amap_(params.nprocs, params.line_bytes, params.page_bytes,
+            params.home_policy),
+      dram_(params.nprocs,
+            mem::DramParams{params.mem_setup, params.mem_bandwidth}),
+      classifier_(params.nprocs, params.line_bytes / mem::AddressMap::kWordBytes),
+      pp_free_(params.nprocs, 0) {
+  sync_ = std::make_unique<proto::SyncManager>(*this);
+  protocol_ = proto::make_protocol(protocol, *this);
+  nic_.set_deliver(
+      [this](const mesh::Message& msg, Cycle t) { dispatch(msg, t); });
+  cpus_.reserve(params.nprocs);
+  for (NodeId p = 0; p < params.nprocs; ++p) {
+    cpus_.push_back(std::make_unique<Cpu>(*this, p));
+  }
+}
+
+Machine::~Machine() = default;
+
+Addr Machine::alloc_bytes(std::size_t bytes, std::string name) {
+  return store_.allocate(bytes, params_.line_bytes, std::move(name));
+}
+
+void Machine::redeliver(const mesh::Message& msg, Cycle t) {
+  engine_.schedule(t, [this, msg](Cycle tt) { dispatch(msg, tt); });
+}
+
+Cycle Machine::pp_claim(NodeId n, Cycle at, Cycle cost) {
+  const Cycle start = std::max(at, pp_free_[n]);
+  pp_free_[n] = start + cost;
+  return start;
+}
+
+void Machine::dispatch(const mesh::Message& msg, Cycle t) {
+  trace_.record(msg, t);
+  const Cycle start = std::max(t, pp_free_[msg.dst]);
+  const Cycle cost = proto::SyncManager::owns(msg.kind)
+                         ? sync_->handle(msg, start)
+                         : protocol_->handle(msg, start);
+  pp_free_[msg.dst] = start + cost;
+}
+
+void Machine::run(std::function<void(Cpu&)> body) {
+  if (ran_) throw std::logic_error("Machine::run may be called only once");
+  ran_ = true;
+  for (auto& c : cpus_) c->start(body);
+  engine_.run();
+  std::string stuck;
+  for (auto& c : cpus_) {
+    if (!c->finished()) {
+      stuck += "\n  cpu " + std::to_string(c->id()) +
+               " blocked=" + (c->blocked() ? "y" : "n") +
+               " now=" + std::to_string(c->now()) +
+               " wb=" + std::to_string(c->wb().occupied()) +
+               " ot=" + std::to_string(c->ot().size()) +
+               " cb=" + std::to_string(c->cb().size()) +
+               " wt=" + std::to_string(c->wt_outstanding);
+      c->ot().for_each([&stuck](const cache::OtEntry& e) {
+        stuck += " [line=" + std::to_string(e.line) +
+                 " data=" + std::to_string(e.data_pending) +
+                 " acks=" + std::to_string(e.acks_pending) + "]";
+      });
+    }
+  }
+  if (!stuck.empty()) {
+    throw std::runtime_error("deadlock: no pending events but" + stuck);
+  }
+}
+
+Report Machine::report() const {
+  Report r;
+  r.protocol = std::string(to_string(kind_));
+  r.nprocs = params_.nprocs;
+  r.nic = nic_.stats();
+  r.dram = dram_.stats();
+  r.miss_classes = classifier_.aggregate();
+  r.lock_acquires = lock_acquires;
+  r.barrier_episodes = barrier_episodes;
+  r.sync = sync_->stats();
+  for (const auto& c : cpus_) {
+    r.execution_time = std::max(r.execution_time, c->now());
+    r.per_cpu.push_back(c->breakdown());
+    r.breakdown += c->breakdown();
+    for (std::size_t k = 0; k < stats::kStallKinds; ++k) {
+      r.stall_hist[k] += c->stall_hist(static_cast<stats::StallKind>(k));
+    }
+    const auto& cs = c->dcache().stats();
+    r.cache.read_hits += cs.read_hits;
+    r.cache.read_misses += cs.read_misses;
+    r.cache.write_hits += cs.write_hits;
+    r.cache.write_misses += cs.write_misses;
+    r.cache.upgrade_misses += cs.upgrade_misses;
+    r.cache.evictions += cs.evictions;
+    r.cache.invalidations += cs.invalidations;
+  }
+  return r;
+}
+
+}  // namespace lrc::core

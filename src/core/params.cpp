@@ -1,0 +1,54 @@
+#include "core/params.hpp"
+
+#include <sstream>
+
+namespace lrc::core {
+
+SystemParams SystemParams::paper_default(unsigned nprocs) {
+  SystemParams p;
+  p.nprocs = nprocs;
+  return p;
+}
+
+SystemParams SystemParams::future_machine(unsigned nprocs) {
+  SystemParams p;
+  p.nprocs = nprocs;
+  p.mem_setup = 40;
+  p.mem_bandwidth = 4;
+  p.bus_bandwidth = 4;
+  p.net_bandwidth = 4;
+  p.line_bytes = 256;
+  return p;
+}
+
+SystemParams SystemParams::test_scale(unsigned nprocs) {
+  SystemParams p;
+  p.nprocs = nprocs;
+  p.line_bytes = 64;
+  p.cache_bytes = 4 * 1024;
+  return p;
+}
+
+std::string SystemParams::describe() const {
+  std::ostringstream os;
+  os << "System parameters (paper Table 1 unless noted):\n"
+     << "  processors             " << nprocs << "\n"
+     << "  cache line size        " << line_bytes << " bytes\n"
+     << "  cache size             " << cache_bytes / 1024
+     << " Kbytes direct-mapped\n"
+     << "  memory setup time      " << mem_setup << " cycles\n"
+     << "  memory bandwidth       " << mem_bandwidth << " bytes/cycle\n"
+     << "  bus bandwidth          " << bus_bandwidth << " bytes/cycle\n"
+     << "  network bandwidth      " << net_bandwidth
+     << " bytes/cycle (bidirectional)\n"
+     << "  switch node latency    " << switch_latency << " cycles\n"
+     << "  wire latency           " << wire_latency << " cycles\n"
+     << "  write notice cost      " << write_notice_cost << " cycles\n"
+     << "  LRC directory access   " << lrc_dir_cost << " cycles\n"
+     << "  ERC directory access   " << erc_dir_cost << " cycles\n"
+     << "  write buffer           " << write_buffer_entries << " entries\n"
+     << "  coalescing buffer      " << coalescing_entries << " entries\n";
+  return os.str();
+}
+
+}  // namespace lrc::core

@@ -1,0 +1,52 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "stats/table.hpp"
+
+namespace lrc::core {
+
+std::string Report::summary() const {
+  std::ostringstream os;
+  os << "=== " << protocol << " on " << nprocs << " processors ===\n";
+  os << "execution time: " << execution_time << " cycles\n";
+  os << "references: " << cache.references() << "  misses: " << cache.misses()
+     << "  miss rate: " << stats::Table::pct(miss_rate(), 2) << "\n";
+
+  const double total = static_cast<double>(breakdown.total());
+  os << "aggregate cycles by category:";
+  for (std::size_t i = 0; i < stats::kStallKinds; ++i) {
+    const auto k = static_cast<stats::StallKind>(i);
+    os << "  " << to_string(k) << "="
+       << stats::Table::pct(total > 0 ? breakdown[k] / total : 0.0, 1);
+  }
+  os << "\n";
+
+  const double misses = static_cast<double>(miss_classes.total());
+  if (misses > 0) {
+    os << "miss classes:";
+    for (std::size_t i = 0; i < stats::kMissClasses; ++i) {
+      const auto c = static_cast<stats::MissClass>(i);
+      os << "  " << to_string(c) << "="
+         << stats::Table::pct(miss_classes[c] / misses, 1);
+    }
+    os << "\n";
+  }
+
+  for (std::size_t i = 1; i < stats::kStallKinds; ++i) {
+    const auto k = static_cast<stats::StallKind>(i);
+    if (stall_hist[i].count() > 0) {
+      os << to_string(k) << "-stall latency: " << stall_hist[i].summary()
+         << "\n";
+    }
+  }
+
+  os << "messages: " << nic.messages << " (" << nic.control_messages
+     << " control, " << nic.data_messages << " data, " << nic.payload_bytes
+     << " payload bytes)\n";
+  os << "locks acquired: " << lock_acquires
+     << "  barrier episodes: " << barrier_episodes << "\n";
+  return os.str();
+}
+
+}  // namespace lrc::core

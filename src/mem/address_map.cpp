@@ -1,0 +1,53 @@
+#include "mem/address_map.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace lrc::mem {
+
+namespace {
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+AddressMap::AddressMap(unsigned nodes, std::uint32_t line_bytes,
+                       std::uint32_t page_bytes, HomePolicy policy)
+    : nodes_(nodes),
+      line_bytes_(line_bytes),
+      page_bytes_(page_bytes),
+      policy_(policy) {
+  if (nodes == 0) throw std::invalid_argument("AddressMap: zero nodes");
+  if (!is_pow2(line_bytes) || !is_pow2(page_bytes) || page_bytes < line_bytes) {
+    throw std::invalid_argument(
+        "AddressMap: line/page sizes must be powers of two, page >= line");
+  }
+  if (line_bytes / kWordBytes > 64) {
+    throw std::invalid_argument("AddressMap: line too long for 64-bit masks");
+  }
+}
+
+WordMask AddressMap::word_mask(Addr a, std::uint32_t bytes) const {
+  const unsigned first = word_in_line(a);
+  const unsigned last = word_in_line(a + bytes - 1);
+  assert(line_of(a) == line_of(a + bytes - 1) &&
+         "access must not straddle a cache line");
+  WordMask m = 0;
+  for (unsigned w = first; w <= last; ++w) m |= WordMask{1} << w;
+  return m;
+}
+
+NodeId AddressMap::home_of(Addr a, NodeId toucher) {
+  const std::uint64_t page = page_of(a);
+  if (policy_ == HomePolicy::kRoundRobin) {
+    return static_cast<NodeId>(page % nodes_);
+  }
+  if (page >= first_touch_.size()) {
+    first_touch_.resize(page + 1, kInvalidNode);
+  }
+  if (first_touch_[page] == kInvalidNode) {
+    first_touch_[page] =
+        (toucher == kInvalidNode) ? static_cast<NodeId>(page % nodes_) : toucher;
+  }
+  return first_touch_[page];
+}
+
+}  // namespace lrc::mem

@@ -1,0 +1,55 @@
+// Maps simulated shared addresses to cache lines, pages, and home nodes.
+// Pages are distributed round-robin across nodes by default; a first-touch
+// policy can be selected per machine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace lrc::mem {
+
+enum class HomePolicy : std::uint8_t {
+  kRoundRobin,  // page p lives at node p % N
+  kFirstTouch,  // page homed at the node of its first accessor
+};
+
+class AddressMap {
+ public:
+  AddressMap(unsigned nodes, std::uint32_t line_bytes, std::uint32_t page_bytes,
+             HomePolicy policy = HomePolicy::kRoundRobin);
+
+  std::uint32_t line_bytes() const { return line_bytes_; }
+  std::uint32_t page_bytes() const { return page_bytes_; }
+  std::uint32_t words_per_line() const { return line_bytes_ / kWordBytes; }
+
+  LineId line_of(Addr a) const { return a / line_bytes_; }
+  Addr line_base(LineId l) const { return l * line_bytes_; }
+  std::uint64_t page_of(Addr a) const { return a / page_bytes_; }
+
+  /// Word index within the line (word = 4 bytes, matching the paper's
+  /// per-word dirty bits discussion).
+  unsigned word_in_line(Addr a) const {
+    return static_cast<unsigned>((a % line_bytes_) / kWordBytes);
+  }
+  WordMask word_mask(Addr a, std::uint32_t bytes) const;
+
+  /// Home node for the page containing `a`. For first-touch, `toucher` is
+  /// recorded on the first call mentioning the page.
+  NodeId home_of(Addr a, NodeId toucher = kInvalidNode);
+  NodeId home_of_line(LineId l, NodeId toucher = kInvalidNode) {
+    return home_of(line_base(l), toucher);
+  }
+
+  static constexpr std::uint32_t kWordBytes = 4;
+
+ private:
+  unsigned nodes_;
+  std::uint32_t line_bytes_;
+  std::uint32_t page_bytes_;
+  HomePolicy policy_;
+  std::vector<NodeId> first_touch_;  // indexed by page number (grown lazily)
+};
+
+}  // namespace lrc::mem

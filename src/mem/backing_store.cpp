@@ -1,0 +1,26 @@
+#include "mem/backing_store.hpp"
+
+namespace lrc::mem {
+
+BackingStore::BackingStore(std::size_t capacity_bytes)
+    : data_(capacity_bytes, 0) {}
+
+Addr BackingStore::allocate(std::size_t bytes, std::size_t align,
+                            std::string name) {
+  if (align == 0 || (align & (align - 1)) != 0) {
+    throw std::invalid_argument("BackingStore: alignment must be power of 2");
+  }
+  const std::size_t base = (next_ + align - 1) & ~(align - 1);
+  const std::size_t end = base + bytes;
+  if (end > data_.size()) {
+    // Grow geometrically; the simulated address space is modest (tens of MB).
+    std::size_t cap = data_.size() ? data_.size() : std::size_t{1} << 20;
+    while (cap < end) cap *= 2;
+    data_.resize(cap, 0);
+  }
+  next_ = end;
+  segments_.push_back(Segment{std::move(name), base, bytes});
+  return base;
+}
+
+}  // namespace lrc::mem

@@ -1,0 +1,26 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lrc::mem {
+
+Cycle Dram::access(NodeId node, Cycle when, std::uint32_t bytes,
+                   bool is_write) {
+  assert(node < free_.size());
+  const Cycle start = std::max(when, free_[node]);
+  const Cycle cost = uncontended_cost(bytes);
+  free_[node] = start + cost;
+
+  stats_.contention += start - when;
+  stats_.busy += cost;
+  stats_.bytes += bytes;
+  if (is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+  return start + cost;
+}
+
+}  // namespace lrc::mem

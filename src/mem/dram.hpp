@@ -1,0 +1,49 @@
+// Per-node DRAM timing model: fixed setup cost plus size/bandwidth transfer,
+// with a single busy channel per node (accesses serialize — this is the
+// memory-contention component of the paper's back end).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace lrc::mem {
+
+struct DramParams {
+  Cycle setup = 20;             // "memory setup time"
+  std::uint32_t bandwidth = 2;  // bytes per cycle
+};
+
+struct DramStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes = 0;
+  Cycle contention = 0;  // cycles requests waited for the channel
+  Cycle busy = 0;        // total channel-busy cycles
+};
+
+class Dram {
+ public:
+  Dram(unsigned nodes, DramParams params)
+      : params_(params), free_(nodes, 0) {}
+
+  /// Performs an access of `bytes` at `node` starting no earlier than `when`;
+  /// returns the completion time. `is_write` only affects statistics.
+  Cycle access(NodeId node, Cycle when, std::uint32_t bytes, bool is_write);
+
+  /// Completion time of an uncontended access (for cost previews/tests).
+  Cycle uncontended_cost(std::uint32_t bytes) const {
+    return params_.setup + ceil_div(bytes, params_.bandwidth);
+  }
+
+  const DramStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DramStats{}; }
+
+ private:
+  DramParams params_;
+  std::vector<Cycle> free_;
+  DramStats stats_;
+};
+
+}  // namespace lrc::mem

@@ -1,0 +1,101 @@
+// Protocol and synchronization message definitions. One flat enum covers
+// every protocol variant; each protocol uses the subset it needs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace lrc::mesh {
+
+enum class MsgKind : std::uint8_t {
+  // Requests from a node's protocol processor to a line's home node.
+  kReadReq,          // fetch line for reading
+  kReadExReq,        // fetch line with exclusive ownership (SC/ERC write miss)
+  kUpgradeReq,       // SC/ERC: have line read-only, want exclusivity
+  kWriteReq,         // LRC: announce a write (multiple-writer; no ownership)
+  kWritebackData,    // ERC/SC: dirty eviction, carries full line
+  kWriteThrough,     // LRC: coalescing-buffer flush, carries dirty words
+  kEvictNotify,      // LRC: clean or dirty eviction notice (directory upkeep)
+  kInvalNotify,      // LRC: line invalidated at acquire (directory upkeep)
+  kSharingWriteback, // ERC/SC: owner demotes Dirty->Shared, data to home
+
+  // Home-to-node traffic.
+  kReadReply,        // data for kReadReq
+  kReadExReply,      // data + ownership for kReadExReq
+  kUpgradeAck,       // exclusivity granted (no data)
+  kWriteAck,         // LRC: write globally performed (all notices acked)
+  kInval,            // SC/ERC: invalidate your copy now
+  kWriteNotice,      // LRC: line became Weak; invalidate at next acquire
+  kFwdReadReq,       // home forwards read to current owner (3-hop)
+  kFwdReadExReq,     // home forwards exclusive fetch to current owner
+
+  // Owner-to-requester (3-hop completion).
+  kFwdDataReply,
+
+  // Acknowledgements back to the home node.
+  kInvalAck,         // SC/ERC invalidation ack
+  kNoticeAck,        // LRC write-notice ack
+  kWriteThroughAck,  // memory applied a write-through flush
+
+  // Synchronization service.
+  kLockReq,
+  kLockGrant,
+  kLockRel,
+  kBarrierArrive,
+  kBarrierRelease,
+
+  kCount
+};
+
+std::string_view to_string(MsgKind k);
+
+/// A message in flight. Field meaning depends on `kind`; unused fields are
+/// zero. Messages are small value types copied into event closures.
+struct Message {
+  MsgKind kind{};
+  NodeId src = kInvalidNode;   // sending node
+  NodeId dst = kInvalidNode;   // receiving node
+  LineId line = 0;             // cache line concerned (protocol messages)
+  NodeId requester = kInvalidNode;  // original requester (forwarded msgs)
+  SyncId sync = 0;             // lock/barrier id (sync messages)
+  WordMask words = 0;          // dirty-word mask (write-through/notices)
+  std::uint32_t payload_bytes = 0;  // data payload; 0 for control messages
+  std::uint64_t tag = 0;       // protocol-private correlation tag
+};
+
+inline std::string_view to_string(MsgKind k) {
+  switch (k) {
+    case MsgKind::kReadReq: return "ReadReq";
+    case MsgKind::kReadExReq: return "ReadExReq";
+    case MsgKind::kUpgradeReq: return "UpgradeReq";
+    case MsgKind::kWriteReq: return "WriteReq";
+    case MsgKind::kWritebackData: return "WritebackData";
+    case MsgKind::kWriteThrough: return "WriteThrough";
+    case MsgKind::kEvictNotify: return "EvictNotify";
+    case MsgKind::kInvalNotify: return "InvalNotify";
+    case MsgKind::kSharingWriteback: return "SharingWriteback";
+    case MsgKind::kReadReply: return "ReadReply";
+    case MsgKind::kReadExReply: return "ReadExReply";
+    case MsgKind::kUpgradeAck: return "UpgradeAck";
+    case MsgKind::kWriteAck: return "WriteAck";
+    case MsgKind::kInval: return "Inval";
+    case MsgKind::kWriteNotice: return "WriteNotice";
+    case MsgKind::kFwdReadReq: return "FwdReadReq";
+    case MsgKind::kFwdReadExReq: return "FwdReadExReq";
+    case MsgKind::kFwdDataReply: return "FwdDataReply";
+    case MsgKind::kInvalAck: return "InvalAck";
+    case MsgKind::kNoticeAck: return "NoticeAck";
+    case MsgKind::kWriteThroughAck: return "WriteThroughAck";
+    case MsgKind::kLockReq: return "LockReq";
+    case MsgKind::kLockGrant: return "LockGrant";
+    case MsgKind::kLockRel: return "LockRel";
+    case MsgKind::kBarrierArrive: return "BarrierArrive";
+    case MsgKind::kBarrierRelease: return "BarrierRelease";
+    case MsgKind::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace lrc::mesh

@@ -1,0 +1,68 @@
+// Network interface model. Reproduces the paper's network cost model:
+// message latency = hops * (switch_latency + wire_latency) + payload/bandwidth,
+// with contention modeled at the sending and receiving endpoints only
+// (never at intermediate switches), exactly as in the paper's back end.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mesh/message.hpp"
+#include "mesh/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/types.hpp"
+
+namespace lrc::mesh {
+
+struct NicParams {
+  Cycle switch_latency = 2;        // per-hop switch traversal
+  Cycle wire_latency = 1;          // per-hop wire traversal
+  std::uint32_t bandwidth = 2;     // bytes per cycle, each direction
+  std::uint32_t header_bytes = 8;  // occupancy charge for control messages
+};
+
+/// Per-message-kind traffic counters (for reports and tests).
+struct NicStats {
+  std::uint64_t messages = 0;
+  std::uint64_t control_messages = 0;
+  std::uint64_t data_messages = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t per_kind[static_cast<std::size_t>(MsgKind::kCount)] = {};
+  Cycle send_contention = 0;  // cycles messages waited at the source NIC
+  Cycle recv_contention = 0;  // cycles messages waited at the sink NIC
+};
+
+class Nic {
+ public:
+  using Deliver = std::function<void(const Message&, Cycle when)>;
+
+  Nic(sim::Engine& engine, const Topology& topo, NicParams params);
+
+  /// Installs the delivery callback (the machine's dispatch routine).
+  void set_deliver(Deliver d) { deliver_ = std::move(d); }
+
+  /// Sends `msg` no earlier than `when`; the delivery callback fires at the
+  /// receiver once the message has traversed the mesh and won the receiving
+  /// endpoint. Self-messages (src == dst) skip the mesh but still pay header
+  /// occupancy, modeling the node-internal bus handoff.
+  void send(Cycle when, Message msg);
+
+  /// Pure latency of an uncontended message (for tests and cost preview).
+  Cycle uncontended_latency(NodeId src, NodeId dst,
+                            std::uint32_t payload_bytes) const;
+
+  const NicStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NicStats{}; }
+
+ private:
+  sim::Engine& engine_;
+  const Topology& topo_;
+  NicParams params_;
+  Deliver deliver_;
+  std::vector<Cycle> out_free_;  // source-endpoint next-free time
+  std::vector<Cycle> in_free_;   // sink-endpoint next-free time
+  NicStats stats_;
+};
+
+}  // namespace lrc::mesh

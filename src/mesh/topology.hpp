@@ -1,0 +1,38 @@
+// 2-D mesh topology: node placement and hop-distance computation.
+// The simulated machine is an R x C mesh (as near square as possible);
+// routing is dimension-ordered, so the hop count between two nodes is
+// their Manhattan distance.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace lrc::mesh {
+
+class Topology {
+ public:
+  /// Builds a near-square mesh with `nodes` nodes (rows*cols >= nodes,
+  /// rows <= cols, chosen to minimize the perimeter).
+  explicit Topology(unsigned nodes);
+
+  unsigned nodes() const { return nodes_; }
+  unsigned rows() const { return rows_; }
+  unsigned cols() const { return cols_; }
+
+  unsigned row_of(NodeId n) const { return n / cols_; }
+  unsigned col_of(NodeId n) const { return n % cols_; }
+
+  /// Manhattan hop distance between two nodes (0 for self-messages).
+  unsigned hops(NodeId a, NodeId b) const;
+
+  /// Average hop distance over all ordered node pairs (for reporting).
+  double mean_hops() const;
+
+ private:
+  unsigned nodes_;
+  unsigned rows_;
+  unsigned cols_;
+};
+
+}  // namespace lrc::mesh

@@ -1,0 +1,4 @@
+#include "proto/directory.hpp"
+
+// Directory is header-only; this translation unit anchors it in the library.
+namespace lrc::proto {}

@@ -1,0 +1,25 @@
+#include "core/params.hpp"
+#include "proto/lrc.hpp"
+#include "proto/msi.hpp"
+#include "proto/protocol.hpp"
+
+namespace lrc::proto {
+
+std::unique_ptr<Protocol> make_protocol(core::ProtocolKind kind,
+                                        core::Machine& m) {
+  switch (kind) {
+    case core::ProtocolKind::kSC:
+      return std::make_unique<Sc>(m);
+    case core::ProtocolKind::kERC:
+      return std::make_unique<Erc>(m);
+    case core::ProtocolKind::kLRC:
+      return std::make_unique<Lrc>(m);
+    case core::ProtocolKind::kLRCExt:
+      return std::make_unique<LrcExt>(m);
+    case core::ProtocolKind::kERCWT:
+      return std::make_unique<ErcWt>(m);
+  }
+  return nullptr;
+}
+
+}  // namespace lrc::proto

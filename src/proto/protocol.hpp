@@ -1,0 +1,56 @@
+// Coherence-protocol interface. One Protocol instance serves the whole
+// machine: the per-processor entry points run in the calling processor's
+// fiber context (and may block it); `handle` runs in event context when a
+// message wins the destination node's protocol processor.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "mesh/message.hpp"
+#include "sim/types.hpp"
+
+namespace lrc::core {
+class Cpu;
+class Machine;
+enum class ProtocolKind : std::uint8_t;
+}  // namespace lrc::core
+
+namespace lrc::proto {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Timed shared-memory access of `bytes` at `a` (fiber context; blocks the
+  /// cpu as required by the memory model).
+  virtual void cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) = 0;
+  virtual void cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) = 0;
+
+  /// Synchronization entry points (fiber context).
+  virtual void acquire(core::Cpu& cpu, SyncId s) = 0;
+  virtual void release(core::Cpu& cpu, SyncId s) = 0;
+  virtual void barrier(core::Cpu& cpu, SyncId s) = 0;
+
+  /// Consistency fence (fiber context): forces buffered coherence work to
+  /// be processed now. The paper (§4.2) proposes these for programs with
+  /// data races whose solution quality suffers from delayed invalidations;
+  /// the eager protocols are always current, so their fence is free.
+  virtual void fence(core::Cpu& cpu) { (void)cpu; }
+
+  /// End-of-program drain: leaves no outstanding transactions so statistics
+  /// settle (fiber context).
+  virtual void finalize(core::Cpu& cpu) = 0;
+
+  /// Processes `msg` at its destination's protocol processor starting at
+  /// `start`; returns the processor-occupancy cost in cycles.
+  virtual Cycle handle(const mesh::Message& msg, Cycle start) = 0;
+};
+
+/// Factory used by core::Machine.
+std::unique_ptr<Protocol> make_protocol(core::ProtocolKind kind,
+                                        core::Machine& m);
+
+}  // namespace lrc::proto

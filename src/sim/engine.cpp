@@ -1,0 +1,41 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace lrc::sim {
+
+void Engine::schedule(Cycle when, Thunk fn) {
+  assert(when >= now_ && "cannot schedule events in the past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the thunk handle (shared state inside std::function is cheap
+    // relative to simulated work).
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.fn(now_);
+  }
+}
+
+std::size_t Engine::run_some(std::size_t max_events) {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (n < max_events && !queue_.empty() && !stopped_) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.fn(now_);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace lrc::sim

@@ -1,0 +1,57 @@
+// Deterministic discrete-event engine. Events are (time, sequence, thunk)
+// triples executed in nondecreasing time order; ties break by insertion
+// order, which makes every simulation run bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace lrc::sim {
+
+class Engine {
+ public:
+  using Thunk = std::function<void(Cycle)>;
+
+  /// Schedules `fn` to run at absolute time `when` (>= now()).
+  void schedule(Cycle when, Thunk fn);
+
+  /// Runs events until the queue is empty or `stop()` is called.
+  void run();
+
+  /// Runs at most `max_events` events; returns the number executed.
+  std::size_t run_some(std::size_t max_events);
+
+  void stop() { stopped_ = true; }
+
+  /// Time of the event currently executing (or last executed).
+  Cycle now() const { return now_; }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Cycle when;
+    std::uint64_t seq;
+    Thunk fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Cycle now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace lrc::sim

@@ -1,0 +1,59 @@
+#include "sim/fiber.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lrc::sim {
+
+namespace {
+// Single-threaded simulator: plain globals are sufficient and cheaper than
+// thread_local on the hot resume/yield path.
+Fiber* g_current = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
+    : fn_(std::move(fn)), stack_(stack_bytes) {
+  if (getcontext(&ctx_) != 0) {
+    throw std::runtime_error("Fiber: getcontext failed");
+  }
+  ctx_.uc_stack.ss_sp = stack_.data();
+  ctx_.uc_stack.ss_size = stack_.size();
+  ctx_.uc_link = &caller_;  // return to caller context on function exit
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+}
+
+Fiber::~Fiber() {
+  // A fiber destroyed while suspended simply abandons its stack; the
+  // engine guarantees all program fibers run to completion before teardown.
+}
+
+void Fiber::trampoline() {
+  Fiber* self = g_current;
+  assert(self != nullptr);
+  self->fn_();
+  self->finished_ = true;
+  // Falling off the end returns to uc_link (the caller_ context captured by
+  // the most recent resume()).
+}
+
+void Fiber::resume() {
+  assert(g_current == nullptr && "resume() must be called from main context");
+  assert(!finished_);
+  g_current = this;
+  started_ = true;
+  swapcontext(&caller_, &ctx_);
+  g_current = nullptr;
+}
+
+void Fiber::yield() {
+  Fiber* self = g_current;
+  assert(self != nullptr && "yield() must be called from inside a fiber");
+  g_current = nullptr;
+  swapcontext(&self->ctx_, &self->caller_);
+  g_current = self;
+}
+
+Fiber* Fiber::current() { return g_current; }
+
+}  // namespace lrc::sim

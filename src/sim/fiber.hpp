@@ -1,0 +1,49 @@
+// Cooperative user-level fibers built on POSIX ucontext. One fiber hosts
+// each simulated processor's program; the event engine runs on the main
+// context and resumes fibers explicitly. Single host thread only — the
+// simulation is fully deterministic.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include <ucontext.h>
+
+namespace lrc::sim {
+
+class Fiber {
+ public:
+  /// Creates a suspended fiber that will run `fn` when first resumed.
+  explicit Fiber(std::function<void()> fn, std::size_t stack_bytes = 256 * 1024);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Runs the fiber until it yields or finishes. Must be called from the
+  /// main context (never from inside another fiber).
+  void resume();
+
+  /// Suspends the currently running fiber, returning control to the main
+  /// context. Must be called from inside a fiber.
+  static void yield();
+
+  /// Returns the fiber currently executing, or nullptr on the main context.
+  static Fiber* current();
+
+  bool finished() const { return finished_; }
+
+ private:
+  static void trampoline();
+
+  std::function<void()> fn_;
+  std::vector<char> stack_;
+  ucontext_t ctx_{};
+  ucontext_t caller_{};
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace lrc::sim

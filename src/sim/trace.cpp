@@ -1,0 +1,61 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace lrc::sim {
+
+void Trace::enable(std::size_t capacity) {
+  enabled_ = true;
+  capacity_ = capacity;
+  entries_.reserve(capacity < 4096 ? capacity : 4096);
+}
+
+void Trace::record(const mesh::Message& msg, Cycle when) {
+  if (!enabled_) return;
+  if (entries_.size() == capacity_) {
+    // Keep the most recent window: drop the older half in one move.
+    entries_.erase(entries_.begin(),
+                   entries_.begin() + static_cast<std::ptrdiff_t>(capacity_ / 2));
+    dropped_ += capacity_ / 2;
+  }
+  entries_.push_back(Entry{when, msg.kind, msg.src, msg.dst, msg.line,
+                           msg.tag, msg.payload_bytes});
+}
+
+void Trace::clear() {
+  entries_.clear();
+  dropped_ = 0;
+}
+
+std::vector<Trace::Entry> Trace::for_line(LineId line) const {
+  std::vector<Entry> out;
+  for (const auto& e : entries_) {
+    if (e.line == line) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Trace::Entry> Trace::of_kind(mesh::MsgKind kind) const {
+  std::vector<Entry> out;
+  for (const auto& e : entries_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::string Trace::dump(std::size_t max_entries) const {
+  std::ostringstream os;
+  const std::size_t start =
+      entries_.size() > max_entries ? entries_.size() - max_entries : 0;
+  for (std::size_t i = start; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    os << '[' << e.when << "] " << mesh::to_string(e.kind) << ' ' << e.src
+       << "->" << e.dst << " line=" << e.line;
+    if (e.tag != 0) os << " tag=" << e.tag;
+    if (e.payload_bytes != 0) os << " payload=" << e.payload_bytes;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace lrc::sim

@@ -1,0 +1,53 @@
+// Message tracing: an optional bounded in-memory log of every message
+// delivery, for protocol debugging and for tests that assert ordering
+// properties. Disabled by default (zero overhead beyond a branch).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mesh/message.hpp"
+#include "sim/types.hpp"
+
+namespace lrc::sim {
+
+class Trace {
+ public:
+  struct Entry {
+    Cycle when = 0;
+    mesh::MsgKind kind{};
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    LineId line = 0;
+    std::uint64_t tag = 0;
+    std::uint32_t payload_bytes = 0;
+  };
+
+  /// Starts recording, keeping at most `capacity` most-recent entries.
+  void enable(std::size_t capacity = 1 << 16);
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void record(const mesh::Message& msg, Cycle when);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t dropped() const { return dropped_; }
+  void clear();
+
+  /// Entries concerning one line, in delivery order.
+  std::vector<Entry> for_line(LineId line) const;
+  /// Entries of one kind, in delivery order.
+  std::vector<Entry> of_kind(mesh::MsgKind kind) const;
+
+  /// Human-readable rendering of the last `max_entries` entries.
+  std::string dump(std::size_t max_entries = 64) const;
+
+ private:
+  bool enabled_ = false;
+  std::size_t capacity_ = 0;
+  std::size_t dropped_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace lrc::sim

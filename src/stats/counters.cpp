@@ -1,0 +1,5 @@
+#include "stats/counters.hpp"
+
+// Header-only accounting; this translation unit anchors the component in the
+// library so future non-inline additions have a home.
+namespace lrc::stats {}

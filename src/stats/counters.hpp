@@ -1,0 +1,55 @@
+// Per-processor cycle accounting in the four categories the paper's
+// overhead-analysis figures use: CPU busy, read-miss stalls, write(-buffer)
+// stalls, and synchronization stalls.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace lrc::stats {
+
+enum class StallKind : std::uint8_t {
+  kCpu = 0,    // compute + cache-hit cycles
+  kRead,       // blocked on read misses
+  kWrite,      // write stalls (buffer full, SC write completion)
+  kSync,       // lock acquire/release waits, barrier waits
+  kCount
+};
+
+constexpr std::size_t kStallKinds = static_cast<std::size_t>(StallKind::kCount);
+
+std::string_view to_string(StallKind k);
+
+struct CpuBreakdown {
+  std::array<Cycle, kStallKinds> cycles{};
+
+  Cycle& operator[](StallKind k) { return cycles[static_cast<std::size_t>(k)]; }
+  Cycle operator[](StallKind k) const {
+    return cycles[static_cast<std::size_t>(k)];
+  }
+  Cycle total() const {
+    Cycle t = 0;
+    for (auto c : cycles) t += c;
+    return t;
+  }
+  CpuBreakdown& operator+=(const CpuBreakdown& o) {
+    for (std::size_t i = 0; i < kStallKinds; ++i) cycles[i] += o.cycles[i];
+    return *this;
+  }
+};
+
+inline std::string_view to_string(StallKind k) {
+  switch (k) {
+    case StallKind::kCpu: return "cpu";
+    case StallKind::kRead: return "read";
+    case StallKind::kWrite: return "write";
+    case StallKind::kSync: return "sync";
+    case StallKind::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace lrc::stats

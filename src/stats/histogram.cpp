@@ -1,0 +1,36 @@
+#include "stats/histogram.hpp"
+
+#include <cstdio>
+
+namespace lrc::stats {
+
+Cycle Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (unsigned b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > target) {
+      if (b + 1 >= kBuckets) return max_;
+      const Cycle bound = (Cycle{1} << (b + 1)) - 1;
+      return bound < max_ ? bound : max_;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu mean=%.1f p50<=%llu p95<=%llu max=%llu",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<unsigned long long>(quantile(0.5)),
+                static_cast<unsigned long long>(quantile(0.95)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace lrc::stats

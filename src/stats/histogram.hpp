@@ -1,0 +1,66 @@
+// Log-bucketed latency histogram: cheap to update on every stall, good
+// enough for p50/p95/p99 reporting of miss and synchronization latencies.
+// Buckets are powers of two: bucket b holds samples in [2^b, 2^(b+1)).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace lrc::stats {
+
+class Histogram {
+ public:
+  static constexpr unsigned kBuckets = 32;
+
+  void add(Cycle value) {
+    ++count_;
+    sum_ += value;
+    if (value > max_) max_ = value;
+    ++buckets_[bucket_of(value)];
+  }
+
+  std::uint64_t count() const { return count_; }
+  Cycle sum() const { return sum_; }
+  Cycle max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Upper bound of the bucket containing the q-quantile sample
+  /// (q in [0, 1]); 0 when empty. Accurate to within a factor of two.
+  Cycle quantile(double q) const;
+
+  std::uint64_t bucket(unsigned b) const { return buckets_[b]; }
+
+  Histogram& operator+=(const Histogram& o) {
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.max_ > max_) max_ = o.max_;
+    for (unsigned b = 0; b < kBuckets; ++b) buckets_[b] += o.buckets_[b];
+    return *this;
+  }
+
+  /// One-line summary: count / mean / p50 / p95 / max.
+  std::string summary() const;
+
+  static unsigned bucket_of(Cycle value) {
+    unsigned b = 0;
+    while (value > 1 && b + 1 < kBuckets) {
+      value >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  Cycle sum_ = 0;
+  Cycle max_ = 0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+}  // namespace lrc::stats

@@ -1,0 +1,35 @@
+// Minimal fixed-width text-table builder used by the benchmark harness and
+// reports to print paper-style tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lrc::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment: first column left, rest right.
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Numeric formatting helpers.
+  static std::string pct(double fraction, int decimals = 1);   // 0.123 -> "12.3%"
+  static std::string fixed(double v, int decimals = 2);
+  static std::string count(std::uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace lrc::stats

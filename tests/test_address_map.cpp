@@ -1,0 +1,70 @@
+#include "mem/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lrc::mem {
+namespace {
+
+TEST(AddressMap, LineAndPageArithmetic) {
+  AddressMap m(4, 128, 4096);
+  EXPECT_EQ(m.line_of(0), 0u);
+  EXPECT_EQ(m.line_of(127), 0u);
+  EXPECT_EQ(m.line_of(128), 1u);
+  EXPECT_EQ(m.line_base(3), 384u);
+  EXPECT_EQ(m.page_of(4095), 0u);
+  EXPECT_EQ(m.page_of(4096), 1u);
+  EXPECT_EQ(m.words_per_line(), 32u);
+}
+
+TEST(AddressMap, WordIndexing) {
+  AddressMap m(4, 128, 4096);
+  EXPECT_EQ(m.word_in_line(0), 0u);
+  EXPECT_EQ(m.word_in_line(4), 1u);
+  EXPECT_EQ(m.word_in_line(127), 31u);
+  EXPECT_EQ(m.word_in_line(128), 0u);
+}
+
+TEST(AddressMap, WordMasks) {
+  AddressMap m(4, 128, 4096);
+  EXPECT_EQ(m.word_mask(0, 4), WordMask{1});
+  EXPECT_EQ(m.word_mask(0, 8), WordMask{3});     // a double spans two words
+  EXPECT_EQ(m.word_mask(8, 8), WordMask{0xC});
+  EXPECT_EQ(m.word_mask(0, 1), WordMask{1});     // sub-word access
+  EXPECT_EQ(m.word_mask(120, 8), WordMask{3} << 30);
+}
+
+TEST(AddressMap, RoundRobinHomes) {
+  AddressMap m(4, 128, 4096, HomePolicy::kRoundRobin);
+  EXPECT_EQ(m.home_of(0), 0u);
+  EXPECT_EQ(m.home_of(4096), 1u);
+  EXPECT_EQ(m.home_of(4 * 4096), 0u);
+  // Lines within one page share a home.
+  EXPECT_EQ(m.home_of(4096 + 128), m.home_of(4096 + 256));
+}
+
+TEST(AddressMap, FirstTouchHomes) {
+  AddressMap m(4, 128, 4096, HomePolicy::kFirstTouch);
+  EXPECT_EQ(m.home_of(0, 3), 3u);
+  EXPECT_EQ(m.home_of(0, 1), 3u);  // sticky after first touch
+  EXPECT_EQ(m.home_of(4096, 2), 2u);
+  // Untouched page with no toucher falls back to round-robin.
+  EXPECT_EQ(m.home_of(2 * 4096), 2u);
+}
+
+TEST(AddressMap, RejectsBadGeometry) {
+  EXPECT_THROW(AddressMap(0, 128, 4096), std::invalid_argument);
+  EXPECT_THROW(AddressMap(4, 100, 4096), std::invalid_argument);
+  EXPECT_THROW(AddressMap(4, 128, 100), std::invalid_argument);
+  EXPECT_THROW(AddressMap(4, 4096, 128), std::invalid_argument);
+  // Line longer than 64 words does not fit the masks.
+  EXPECT_THROW(AddressMap(4, 512, 4096), std::invalid_argument);
+}
+
+TEST(AddressMap, LongLinesForFutureMachine) {
+  AddressMap m(64, 256, 4096);
+  EXPECT_EQ(m.words_per_line(), 64u);
+  EXPECT_EQ(m.word_mask(252, 4), WordMask{1} << 63);
+}
+
+}  // namespace
+}  // namespace lrc::mem

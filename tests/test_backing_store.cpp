@@ -1,0 +1,63 @@
+#include "mem/backing_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lrc::mem {
+namespace {
+
+TEST(BackingStore, AllocatesAlignedSegments) {
+  BackingStore s;
+  const Addr a = s.allocate(100, 128, "a");
+  EXPECT_EQ(a % 128, 0u);
+  const Addr b = s.allocate(8, 128, "b");
+  EXPECT_EQ(b % 128, 0u);
+  EXPECT_GE(b, a + 100);
+}
+
+TEST(BackingStore, LoadStoreRoundTrip) {
+  BackingStore s;
+  const Addr a = s.allocate(64, 8);
+  s.store<double>(a, 3.25);
+  s.store<std::int32_t>(a + 8, -7);
+  EXPECT_DOUBLE_EQ(s.load<double>(a), 3.25);
+  EXPECT_EQ(s.load<std::int32_t>(a + 8), -7);
+}
+
+TEST(BackingStore, GrowsOnDemand) {
+  BackingStore s(16);
+  const Addr a = s.allocate(1 << 20, 64);
+  s.store<std::uint64_t>(a + (1 << 20) - 8, 0xdeadbeefULL);
+  EXPECT_EQ(s.load<std::uint64_t>(a + (1 << 20) - 8), 0xdeadbeefULL);
+}
+
+TEST(BackingStore, ZeroInitialized) {
+  BackingStore s;
+  const Addr a = s.allocate(256, 64);
+  for (unsigned i = 0; i < 256; i += 8) {
+    EXPECT_EQ(s.load<std::uint64_t>(a + i), 0u);
+  }
+}
+
+TEST(BackingStore, OutOfRangeAccessThrows) {
+  BackingStore s;
+  const Addr a = s.allocate(16, 16);
+  EXPECT_THROW(s.load<std::uint64_t>(a + (1 << 22)), std::out_of_range);
+}
+
+TEST(BackingStore, TracksSegments) {
+  BackingStore s;
+  s.allocate(10, 8, "alpha");
+  s.allocate(20, 8, "beta");
+  ASSERT_EQ(s.segments().size(), 2u);
+  EXPECT_EQ(s.segments()[0].name, "alpha");
+  EXPECT_EQ(s.segments()[1].bytes, 20u);
+}
+
+TEST(BackingStore, RejectsBadAlignment) {
+  BackingStore s;
+  EXPECT_THROW(s.allocate(8, 3), std::invalid_argument);
+  EXPECT_THROW(s.allocate(8, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lrc::mem

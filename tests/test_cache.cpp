@@ -1,0 +1,124 @@
+#include "cache/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lrc::cache {
+namespace {
+
+TEST(Cache, MissThenFillThenHit) {
+  Cache c(1024, 128);  // 8 sets
+  EXPECT_EQ(c.find(5), nullptr);
+  EXPECT_FALSE(c.fill(5, LineState::kReadOnly).has_value());
+  ASSERT_NE(c.find(5), nullptr);
+  EXPECT_EQ(c.find(5)->state, LineState::kReadOnly);
+}
+
+TEST(Cache, DirectMappedConflictEvicts) {
+  Cache c(1024, 128);  // 8 sets: lines 5 and 13 conflict
+  c.fill(5, LineState::kReadWrite);
+  c.find(5)->dirty = 0x3;
+  auto victim = c.fill(13, LineState::kReadOnly);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->line, 5u);
+  EXPECT_EQ(victim->state, LineState::kReadWrite);
+  EXPECT_EQ(victim->dirty, 0x3u);
+  EXPECT_EQ(c.find(5), nullptr);
+  ASSERT_NE(c.find(13), nullptr);
+  EXPECT_EQ(c.find(13)->dirty, 0u);  // fresh install starts clean
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, NonConflictingLinesCoexist) {
+  Cache c(1024, 128);
+  for (LineId l = 0; l < 8; ++l) {
+    EXPECT_FALSE(c.fill(l, LineState::kReadOnly).has_value());
+  }
+  for (LineId l = 0; l < 8; ++l) EXPECT_NE(c.find(l), nullptr);
+}
+
+TEST(Cache, RefillOfResidentLineKeepsDirtyMask) {
+  Cache c(1024, 128);
+  c.fill(5, LineState::kReadWrite);
+  c.find(5)->dirty = 0xF0;
+  auto victim = c.fill(5, LineState::kReadWrite);
+  EXPECT_FALSE(victim.has_value());
+  EXPECT_EQ(c.find(5)->dirty, 0xF0u);
+  EXPECT_EQ(c.stats().evictions, 0u);
+}
+
+TEST(Cache, InvalidateRemovesAndReturnsCopy) {
+  Cache c(1024, 128);
+  c.fill(7, LineState::kReadWrite);
+  c.find(7)->dirty = 1;
+  auto removed = c.invalidate(7);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->dirty, 1u);
+  EXPECT_EQ(c.find(7), nullptr);
+  EXPECT_EQ(c.stats().invalidations, 1u);
+  EXPECT_FALSE(c.invalidate(7).has_value());  // second time: nothing there
+}
+
+TEST(Cache, VictimForPeeksWithoutEvicting) {
+  Cache c(1024, 128);
+  c.fill(5, LineState::kReadOnly);
+  EXPECT_EQ(c.victim_for(13)->line, 5u);
+  EXPECT_EQ(c.victim_for(5), nullptr);   // same line: no victim
+  EXPECT_EQ(c.victim_for(14), nullptr);  // empty set: no victim
+  EXPECT_NE(c.find(5), nullptr);         // nothing was displaced
+}
+
+TEST(Cache, ForEachValidVisitsAllResidents) {
+  Cache c(1024, 128);
+  c.fill(1, LineState::kReadOnly);
+  c.fill(2, LineState::kReadWrite);
+  unsigned count = 0;
+  c.for_each_valid([&](CacheLine&) { ++count; });
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(Cache, StatsRatesAndTotals) {
+  Cache c(1024, 128);
+  c.stats().read_hits = 90;
+  c.stats().read_misses = 5;
+  c.stats().write_hits = 3;
+  c.stats().write_misses = 1;
+  c.stats().upgrade_misses = 1;
+  EXPECT_EQ(c.stats().references(), 100u);
+  EXPECT_EQ(c.stats().misses(), 7u);
+  EXPECT_DOUBLE_EQ(c.stats().miss_rate(), 0.07);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(Cache(1000, 128), std::invalid_argument);
+  EXPECT_THROW(Cache(128, 100), std::invalid_argument);
+  EXPECT_THROW(Cache(64, 128), std::invalid_argument);
+}
+
+class CacheGeometry
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(CacheGeometry, IndexingIsConsistent) {
+  const auto [cache_bytes, line_bytes] = GetParam();
+  Cache c(cache_bytes, line_bytes);
+  const std::uint32_t sets = cache_bytes / line_bytes;
+  EXPECT_EQ(c.num_sets(), sets);
+  // A line and line+sets conflict; line and line+sets-1 do not (distinct
+  // sets).
+  c.fill(3, LineState::kReadOnly);
+  EXPECT_NE(c.victim_for(3 + sets), nullptr);
+  if (sets > 1) {
+    EXPECT_EQ(c.victim_for(3 + sets - 1), nullptr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheGeometry,
+    ::testing::Values(std::make_pair(128u * 1024u, 128u),   // paper default
+                      std::make_pair(128u * 1024u, 256u),   // future machine
+                      std::make_pair(4096u, 64u),           // test scale
+                      std::make_pair(1024u, 128u),
+                      std::make_pair(128u, 128u)));         // single set
+
+}  // namespace
+}  // namespace lrc::cache

@@ -1,0 +1,67 @@
+#include "cache/coalescing_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lrc::cache {
+namespace {
+
+TEST(CoalescingBuffer, MergesWritesToSameLine) {
+  CoalescingBuffer cb(16);
+  EXPECT_FALSE(cb.add(10, 0x1).has_value());
+  EXPECT_FALSE(cb.add(10, 0x2).has_value());
+  EXPECT_EQ(cb.size(), 1u);
+  EXPECT_EQ(cb.stats().merges, 1u);
+  auto e = cb.pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->words, 0x3u);
+}
+
+TEST(CoalescingBuffer, CapacityEvictionIsFifo) {
+  CoalescingBuffer cb(4);
+  for (LineId l = 0; l < 4; ++l) EXPECT_FALSE(cb.add(l, 1).has_value());
+  auto victim = cb.add(100, 1);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->line, 0u);  // oldest
+  EXPECT_EQ(cb.size(), 4u);
+  EXPECT_EQ(cb.stats().capacity_flushes, 1u);
+}
+
+TEST(CoalescingBuffer, MergeRefreshesNothingKeepsFifoOrder) {
+  CoalescingBuffer cb(4);
+  for (LineId l = 0; l < 4; ++l) cb.add(l, 1);
+  cb.add(0, 2);  // merge into oldest entry, order unchanged
+  auto victim = cb.add(100, 1);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->line, 0u);
+  EXPECT_EQ(victim->words, 3u);
+}
+
+TEST(CoalescingBuffer, PopDrainsInOrder) {
+  CoalescingBuffer cb(16);
+  cb.add(5, 1);
+  cb.add(6, 1);
+  EXPECT_EQ(cb.pop()->line, 5u);
+  EXPECT_EQ(cb.pop()->line, 6u);
+  EXPECT_FALSE(cb.pop().has_value());
+  EXPECT_TRUE(cb.empty());
+}
+
+TEST(CoalescingBuffer, PopLineExtractsSpecificEntry) {
+  CoalescingBuffer cb(16);
+  cb.add(5, 1);
+  cb.add(6, 2);
+  cb.add(7, 4);
+  auto e = cb.pop_line(6);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->words, 2u);
+  EXPECT_EQ(cb.size(), 2u);
+  EXPECT_FALSE(cb.pop_line(6).has_value());
+}
+
+TEST(CoalescingBuffer, PaperConfigurationIsSixteenEntries) {
+  CoalescingBuffer cb(16);
+  EXPECT_EQ(cb.capacity(), 16u);
+}
+
+}  // namespace
+}  // namespace lrc::cache

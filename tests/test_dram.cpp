@@ -1,0 +1,54 @@
+#include "mem/dram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lrc::mem {
+namespace {
+
+TEST(Dram, UncontendedCostMatchesPaperModel) {
+  // Paper worked example (§3): 128-byte access costs 20 + 128/2 = 84.
+  Dram d(4, DramParams{});
+  EXPECT_EQ(d.uncontended_cost(128), 84u);
+  EXPECT_EQ(d.access(0, 100, 128, false), 184u);
+}
+
+TEST(Dram, AccessesSerializeAtOneNode) {
+  Dram d(4, DramParams{});
+  const Cycle first = d.access(0, 0, 128, false);
+  EXPECT_EQ(first, 84u);
+  const Cycle second = d.access(0, 10, 128, false);
+  EXPECT_EQ(second, 84u + 84u);  // waits for the channel
+  EXPECT_EQ(d.stats().contention, 74u);
+}
+
+TEST(Dram, NodesAreIndependentChannels) {
+  Dram d(4, DramParams{});
+  EXPECT_EQ(d.access(0, 0, 128, false), 84u);
+  EXPECT_EQ(d.access(1, 0, 128, false), 84u);
+  EXPECT_EQ(d.stats().contention, 0u);
+}
+
+TEST(Dram, SmallWritesChargeSetupPlusBytes) {
+  Dram d(1, DramParams{});
+  EXPECT_EQ(d.access(0, 0, 4, true), 22u);  // 20 + ceil(4/2)
+  EXPECT_EQ(d.stats().writes, 1u);
+  EXPECT_EQ(d.stats().reads, 0u);
+  EXPECT_EQ(d.stats().bytes, 4u);
+}
+
+TEST(Dram, FutureMachineParameters) {
+  // §4.3 trend machine: 40-cycle startup, 4 bytes/cycle, 256-byte lines.
+  Dram d(1, DramParams{40, 4});
+  EXPECT_EQ(d.uncontended_cost(256), 40u + 64u);
+}
+
+TEST(Dram, IdleChannelDoesNotAccumulateDelay) {
+  Dram d(1, DramParams{});
+  EXPECT_EQ(d.access(0, 0, 128, false), 84u);
+  EXPECT_EQ(d.access(0, 1000, 128, false), 1084u);
+  EXPECT_EQ(d.stats().contention, 0u);
+  EXPECT_EQ(d.stats().busy, 168u);
+}
+
+}  // namespace
+}  // namespace lrc::mem

@@ -1,0 +1,97 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lrc::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(30, [&](Cycle) { order.push_back(3); });
+  e.schedule(10, [&](Cycle) { order.push_back(1); });
+  e.schedule(20, [&](Cycle) { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+  EXPECT_EQ(e.events_executed(), 3u);
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(5, [&order, i](Cycle) { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<unsigned>(i)], i);
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents) {
+  Engine e;
+  int count = 0;
+  std::function<void(Cycle)> chain = [&](Cycle t) {
+    ++count;
+    if (count < 5) e.schedule(t + 10, chain);
+  };
+  e.schedule(0, chain);
+  e.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.now(), 40u);
+}
+
+TEST(Engine, SchedulingAtCurrentTimeRunsAfterCurrentEvent) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(7, [&](Cycle t) {
+    order.push_back(1);
+    e.schedule(t, [&](Cycle) { order.push_back(2); });
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, StopHaltsProcessing) {
+  Engine e;
+  int count = 0;
+  e.schedule(1, [&](Cycle) {
+    ++count;
+    e.stop();
+  });
+  e.schedule(2, [&](Cycle) { ++count; });
+  e.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_FALSE(e.empty());
+  e.run();  // resumes from where it stopped
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, RunSomeBoundsEventCount) {
+  Engine e;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(static_cast<Cycle>(i), [&](Cycle) { ++count; });
+  }
+  EXPECT_EQ(e.run_some(4), 4u);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(e.pending(), 6u);
+}
+
+TEST(Engine, NowAdvancesMonotonically) {
+  Engine e;
+  Cycle last = 0;
+  bool monotone = true;
+  for (int i = 0; i < 100; ++i) {
+    e.schedule(static_cast<Cycle>((i * 37) % 50), [&](Cycle t) {
+      monotone = monotone && t >= last;
+      last = t;
+    });
+  }
+  e.run();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace lrc::sim

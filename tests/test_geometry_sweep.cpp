@@ -1,0 +1,138 @@
+// Cross-geometry protocol sweep: a fixed race-free workload must compute
+// the same result under every (cache size, line size, processor count,
+// protocol, home policy) combination, and the timing model must respect
+// basic monotonicity (bigger caches never increase the miss count of a
+// deterministic single-processor reference stream).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/machine.hpp"
+
+namespace lrc::core {
+namespace {
+
+using Geometry = std::tuple<std::uint32_t /*cache*/, std::uint32_t /*line*/,
+                            unsigned /*procs*/, ProtocolKind>;
+
+std::string geometry_name(const ::testing::TestParamInfo<Geometry>& info) {
+  const auto [cache, line, procs, kind] = info.param;
+  std::string n = "c" + std::to_string(cache / 1024) + "k_l" +
+                  std::to_string(line) + "_p" + std::to_string(procs) + "_" +
+                  std::string(to_string(kind));
+  for (auto& ch : n) {
+    if (ch == '-') ch = '_';
+  }
+  return n;
+}
+
+class GeometrySweep : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(GeometrySweep, FixedWorkloadComputesSameResult) {
+  const auto [cache, line, procs, kind] = GetParam();
+  auto params = SystemParams::paper_default(procs);
+  params.cache_bytes = cache;
+  params.line_bytes = line;
+  Machine m(params, kind);
+
+  auto arr = m.alloc<double>(512, "a");
+  auto partial = m.alloc<double>(64 * 16, "partial");  // padded slots
+  m.run([&](Cpu& cpu) {
+    // Phase 1: disjoint writes.
+    for (std::size_t i = cpu.id(); i < arr.size(); i += cpu.nprocs()) {
+      arr.put(cpu, i, static_cast<double>(i % 7));
+    }
+    cpu.barrier(0);
+    // Phase 2: everyone reads everything; lock-protected tally.
+    double sum = 0;
+    for (std::size_t i = 0; i < arr.size(); ++i) sum += arr.get(cpu, i);
+    partial.put(cpu, cpu.id() * 16, sum);
+    cpu.lock(1);
+    cpu.unlock(1);
+    cpu.barrier(0);
+  });
+
+  double expected = 0;
+  for (std::size_t i = 0; i < 512; ++i) expected += static_cast<double>(i % 7);
+  for (unsigned p = 0; p < procs; ++p) {
+    EXPECT_DOUBLE_EQ(m.peek<double>(partial.addr(p * 16)), expected)
+        << "proc " << p;
+  }
+  // Per-cpu accounting stays exact in every geometry.
+  for (NodeId p = 0; p < m.nprocs(); ++p) {
+    EXPECT_EQ(m.cpu(p).breakdown().total(), m.cpu(p).now());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweep,
+    ::testing::Combine(::testing::Values(512u, 4096u, 128u * 1024u),
+                       ::testing::Values(64u, 128u, 256u),
+                       ::testing::Values(2u, 8u),
+                       ::testing::Values(ProtocolKind::kERC,
+                                         ProtocolKind::kLRC,
+                                         ProtocolKind::kLRCExt)),
+    geometry_name);
+
+TEST(GeometryMonotonicity, BiggerCachesNeverMissMore) {
+  // Single processor, fixed reference stream: misses must be monotonically
+  // non-increasing in cache size (same line size, LRU-free direct-mapped
+  // still satisfies this for a fixed stream only in the inclusive sense of
+  // total misses for these strides).
+  std::uint64_t prev = ~0ull;
+  for (std::uint32_t cache : {1024u, 4096u, 16384u, 65536u}) {
+    auto params = SystemParams::paper_default(1);
+    params.cache_bytes = cache;
+    Machine m(params, ProtocolKind::kLRC);
+    auto arr = m.alloc<double>(4096, "a");
+    m.run([&](Cpu& cpu) {
+      for (int round = 0; round < 3; ++round) {
+        for (std::size_t i = 0; i < arr.size(); i += 4) {
+          (void)arr.get(cpu, i);
+        }
+      }
+    });
+    const auto misses = m.report().cache.misses();
+    EXPECT_LE(misses, prev) << "cache " << cache;
+    prev = misses;
+  }
+}
+
+TEST(GeometryMonotonicity, LongerLinesReduceColdMissesOnStreams) {
+  // Sequential streaming: doubling the line halves the cold misses.
+  std::uint64_t prev = ~0ull;
+  for (std::uint32_t line : {64u, 128u, 256u}) {
+    auto params = SystemParams::paper_default(1);
+    params.line_bytes = line;
+    Machine m(params, ProtocolKind::kERC);
+    auto arr = m.alloc<double>(8192, "a");
+    m.run([&](Cpu& cpu) {
+      for (std::size_t i = 0; i < arr.size(); ++i) (void)arr.get(cpu, i);
+    });
+    const auto misses = m.report().cache.misses();
+    EXPECT_LT(misses, prev) << "line " << line;
+    prev = misses;
+  }
+}
+
+TEST(GeometryMonotonicity, FirstTouchMatchesRoundRobinResults) {
+  for (auto policy : {mem::HomePolicy::kRoundRobin,
+                      mem::HomePolicy::kFirstTouch}) {
+    auto params = SystemParams::test_scale(8);
+    params.home_policy = policy;
+    Machine m(params, ProtocolKind::kLRC);
+    auto arr = m.alloc<double>(256, "a");
+    m.run([&](Cpu& cpu) {
+      for (std::size_t i = cpu.id(); i < arr.size(); i += cpu.nprocs()) {
+        arr.put(cpu, i, 2.0);
+      }
+      cpu.barrier(0);
+    });
+    for (std::size_t i = 0; i < 256; ++i) {
+      EXPECT_DOUBLE_EQ(m.peek<double>(arr.addr(i)), 2.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lrc::core

@@ -1,0 +1,101 @@
+// Golden timing regressions: exact cycle counts for fixed micro-scenarios.
+// The simulator is bit-deterministic, so any change to these numbers means
+// the timing model changed — which must be a deliberate, reviewed decision
+// (update the constants below and the EXPERIMENTS.md snapshot together).
+//
+// Unlike the analytical tests in test_machine.cpp (272-cycle identity
+// etc.), these cover composite paths: protocol handshakes, lock transfer,
+// barrier episodes.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+
+namespace lrc::core {
+namespace {
+
+/// Two processors increment a shared counter through one lock, 10 times
+/// each, on the paper machine. Exercises lock grant/transfer, critical-
+/// section misses, release drains.
+Cycle pingpong_time(ProtocolKind kind) {
+  Machine m(SystemParams::paper_default(2), kind);
+  auto c = m.alloc<std::int64_t>(1, "c");
+  m.run([&](Cpu& cpu) {
+    for (int i = 0; i < 10; ++i) {
+      cpu.lock(0);
+      c.put(cpu, 0, c.get(cpu, 0) + 1);
+      cpu.unlock(0);
+    }
+  });
+  return m.report().execution_time;
+}
+
+TEST(Golden, LockPingPongCycleCounts) {
+  // Relative ordering is the load-bearing assertion; exact values pin the
+  // timing model. A pure lock ping-pong has no false sharing for LRC to
+  // win on, but its releases still pay write-ack and write-through drains
+  // — the paper's "increased synchronization overhead" in isolation.
+  const Cycle sc = pingpong_time(ProtocolKind::kSC);
+  const Cycle erc = pingpong_time(ProtocolKind::kERC);
+  const Cycle lrc = pingpong_time(ProtocolKind::kLRC);
+  const Cycle ext = pingpong_time(ProtocolKind::kLRCExt);
+  EXPECT_EQ(sc, 5235u);
+  EXPECT_EQ(erc, 5215u);
+  EXPECT_EQ(lrc, 5775u);
+  EXPECT_EQ(ext, 5795u);
+  EXPECT_LE(erc, sc);
+  EXPECT_GT(lrc, erc);  // release drains on the critical path
+  EXPECT_GE(ext, lrc);  // and lazier is worse still
+}
+
+/// Eight processors, one barrier, uneven arrival.
+Cycle barrier_time(ProtocolKind kind) {
+  Machine m(SystemParams::paper_default(8), kind);
+  m.run([&](Cpu& cpu) {
+    cpu.compute(100 * (cpu.id() + 1));
+    cpu.barrier(0);
+  });
+  return m.report().execution_time;
+}
+
+TEST(Golden, BarrierEpisodeCycleCounts) {
+  // Pure synchronization: all four protocols share the sync service, so
+  // the times must be identical — any divergence means a protocol sneaks
+  // extra work into an empty release/acquire.
+  const Cycle sc = barrier_time(ProtocolKind::kSC);
+  EXPECT_EQ(barrier_time(ProtocolKind::kERC), sc);
+  EXPECT_EQ(barrier_time(ProtocolKind::kLRC), sc);
+  EXPECT_EQ(barrier_time(ProtocolKind::kLRCExt), sc);
+  EXPECT_GT(sc, 800u);   // slowest arrival is at 800 cycles
+  EXPECT_LT(sc, 1200u);  // barrier overhead is small two-hop traffic
+}
+
+/// Producer writes a line; consumer reads it after a lock hand-off.
+Cycle handoff_time(ProtocolKind kind) {
+  Machine m(SystemParams::paper_default(4), kind);
+  auto buf = m.alloc<double>(16, "buf");
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() == 0) {
+      cpu.lock(1);
+      for (unsigned i = 0; i < 16; ++i) buf.put(cpu, i, 1.0 + i);
+      cpu.unlock(1);
+    } else if (cpu.id() == 1) {
+      cpu.compute(5000);  // arrive after the producer is done
+      cpu.lock(1);
+      double s = 0;
+      for (unsigned i = 0; i < 16; ++i) s += buf.get(cpu, i);
+      buf.put(cpu, 0, s);
+      cpu.unlock(1);
+    }
+  });
+  return m.report().execution_time;
+}
+
+TEST(Golden, ProducerConsumerHandoffCycleCounts) {
+  EXPECT_EQ(handoff_time(ProtocolKind::kSC), 5253u);
+  EXPECT_EQ(handoff_time(ProtocolKind::kERC), 5252u);
+  EXPECT_EQ(handoff_time(ProtocolKind::kLRC), 5298u);
+  EXPECT_EQ(handoff_time(ProtocolKind::kLRCExt), 5299u);
+}
+
+}  // namespace
+}  // namespace lrc::core

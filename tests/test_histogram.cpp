@@ -1,0 +1,106 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+
+namespace lrc::stats {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 0u);
+  EXPECT_EQ(Histogram::bucket_of(2), 1u);
+  EXPECT_EQ(Histogram::bucket_of(3), 1u);
+  EXPECT_EQ(Histogram::bucket_of(4), 2u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 9u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 10u);
+}
+
+TEST(Histogram, MeanSumMax) {
+  Histogram h;
+  h.add(10);
+  h.add(20);
+  h.add(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 330u);
+  EXPECT_EQ(h.max(), 300u);
+  EXPECT_DOUBLE_EQ(h.mean(), 110.0);
+}
+
+TEST(Histogram, QuantilesWithinFactorOfTwo) {
+  Histogram h;
+  for (Cycle v = 1; v <= 1000; ++v) h.add(v);
+  // Exact p50 is 500; the bucketed answer is the bucket upper bound.
+  const Cycle p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 500u);
+  EXPECT_LE(p50, 1023u);
+  const Cycle p99 = h.quantile(0.99);
+  EXPECT_GE(p99, 990u);
+  EXPECT_EQ(h.quantile(0.0), 1u);
+  EXPECT_EQ(h.quantile(1.0), h.max());
+}
+
+TEST(Histogram, MergeAccumulates) {
+  Histogram a;
+  Histogram b;
+  a.add(4);
+  a.add(8);
+  b.add(1000);
+  a += b;
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_EQ(a.sum(), 1012u);
+}
+
+TEST(Histogram, SummaryIsReadable) {
+  Histogram h;
+  h.add(272);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("max=272"), std::string::npos);
+}
+
+TEST(Histogram, RemoteReadLatencyLandsInTheRightBucket) {
+  // Machine-level integration: a single 272-cycle remote read stall must
+  // appear in the read-stall histogram.
+  using namespace lrc::core;
+  Machine m(SystemParams::paper_default(64), ProtocolKind::kLRC);
+  m.alloc_bytes(60 * 4096, "span");
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() == 0) cpu.read<double>(59 * 4096);
+  });
+  const auto& h = m.cpu(0).stall_hist(StallKind::kRead);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 272u);
+  const auto r = m.report();
+  EXPECT_EQ(r.stall_hist[static_cast<std::size_t>(StallKind::kRead)].count(),
+            1u);
+}
+
+TEST(Histogram, SyncStallsShowUpInReports) {
+  using namespace lrc::core;
+  Machine m(SystemParams::test_scale(8), ProtocolKind::kLRC);
+  auto c = m.alloc<std::int64_t>(1, "c");
+  m.run([&](Cpu& cpu) {
+    cpu.lock(1);
+    c.put(cpu, 0, c.get(cpu, 0) + 1);
+    cpu.unlock(1);
+  });
+  const auto r = m.report();
+  const auto& sync =
+      r.stall_hist[static_cast<std::size_t>(StallKind::kSync)];
+  EXPECT_GT(sync.count(), 0u);
+  EXPECT_NE(r.summary().find("sync-stall latency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lrc::stats

@@ -1,0 +1,216 @@
+// Property-based cross-protocol tests: randomized race-free programs must
+// produce identical memory contents under every protocol, and the
+// directory must agree with the caches once the machine drains.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/machine.hpp"
+#include "proto/base.hpp"
+#include "sim/rng.hpp"
+
+namespace lrc::core {
+namespace {
+
+constexpr ProtocolKind kAll[] = {ProtocolKind::kSC, ProtocolKind::kERC,
+                                 ProtocolKind::kLRC, ProtocolKind::kLRCExt};
+
+struct WorkloadSpec {
+  unsigned nprocs;
+  unsigned ops_per_proc;
+  unsigned barrier_every;  // all processors barrier after this many ops
+  std::uint64_t seed;
+};
+
+// A race-free random program: each processor writes only its own slice,
+// reads anywhere, and increments lock-protected counters. Returns a
+// checksum of the final shared memory.
+std::uint64_t run_random_program(ProtocolKind kind, const WorkloadSpec& spec,
+                                 Machine** out = nullptr) {
+  static std::vector<std::unique_ptr<Machine>> keep_alive;
+  auto params = SystemParams::test_scale(spec.nprocs);
+  auto m = std::make_unique<Machine>(params, kind);
+  constexpr unsigned kSlice = 64;  // doubles per processor
+  auto data = m->alloc<double>(spec.nprocs * kSlice, "slices");
+  auto counters = m->alloc<std::int64_t>(8, "counters");
+
+  m->run([&](Cpu& cpu) {
+    sim::Rng rng(spec.seed * 977 + cpu.id());
+    const unsigned base = cpu.id() * kSlice;
+    for (unsigned op = 0; op < spec.ops_per_proc; ++op) {
+      switch (rng.below(4)) {
+        case 0: {  // private write
+          const unsigned i = base + static_cast<unsigned>(rng.below(kSlice));
+          data.put(cpu, i, static_cast<double>(op * 31 + cpu.id()));
+          break;
+        }
+        case 1: {  // shared read (value unused; races impossible: reads only)
+          const unsigned i =
+              static_cast<unsigned>(rng.below(spec.nprocs * kSlice));
+          (void)data.get(cpu, i);
+          break;
+        }
+        case 2: {  // lock-protected shared counter
+          const SyncId lk = static_cast<SyncId>(rng.below(8));
+          cpu.lock(100 + lk);
+          counters.put(cpu, lk, counters.get(cpu, lk) + 1);
+          cpu.unlock(100 + lk);
+          break;
+        }
+        case 3:
+          cpu.compute(1 + rng.below(20));
+          break;
+      }
+      if ((op + 1) % spec.barrier_every == 0) cpu.barrier(0);
+    }
+  });
+
+  // FNV-style checksum over all allocated shared memory.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned i = 0; i < spec.nprocs * kSlice; ++i) {
+    const auto bits = m->peek<std::uint64_t>(data.addr(i));
+    h = (h ^ bits) * 1099511628211ULL;
+  }
+  for (unsigned c = 0; c < 8; ++c) {
+    h = (h ^ m->peek<std::uint64_t>(counters.addr(c))) * 1099511628211ULL;
+  }
+  if (out != nullptr) {
+    *out = m.get();
+    keep_alive.push_back(std::move(m));
+  }
+  return h;
+}
+
+// Verifies directory/cache agreement after the machine has drained.
+void check_directory_consistency(Machine& m) {
+  auto& base = dynamic_cast<proto::ProtocolBase&>(m.protocol());
+  const bool lrc_family = m.protocol_kind() == ProtocolKind::kLRC ||
+                          m.protocol_kind() == ProtocolKind::kLRCExt;
+
+  // Every cached line must be a registered sharer.
+  for (NodeId p = 0; p < m.nprocs(); ++p) {
+    m.cpu(p).dcache().for_each_valid([&](cache::CacheLine& cl) {
+      auto* e = base.directory().find(cl.line);
+      ASSERT_NE(e, nullptr) << "cached line missing from directory";
+      EXPECT_TRUE(e->is_sharer(p))
+          << "proc " << p << " caches line " << cl.line
+          << " but is not a sharer";
+      if (!lrc_family && cl.state == cache::LineState::kReadWrite) {
+        EXPECT_EQ(e->state, proto::DirState::kDirty);
+        EXPECT_EQ(e->owner(), p);
+      }
+    });
+  }
+
+  // No transient state left anywhere.
+  base.directory().for_each([&](LineId line, proto::DirEntry& e) {
+    EXPECT_FALSE(e.busy) << "line " << line << " left busy";
+    EXPECT_EQ(e.pending_acks, 0u) << "line " << line << " awaiting acks";
+    EXPECT_TRUE(e.deferred.empty()) << "line " << line << " has deferred msgs";
+    EXPECT_TRUE(e.collections.empty()) << "line " << line
+                                       << " has open notice collections";
+    EXPECT_EQ(e.notices_outstanding, 0u) << "line " << line;
+
+    if (lrc_family) {
+      // LRC tracks membership exactly (evict/inval notifications).
+      for (NodeId p = 0; p < m.nprocs(); ++p) {
+        const bool cached = m.cpu(p).dcache().find(line) != nullptr;
+        EXPECT_EQ(cached, e.is_sharer(p))
+            << "LRC sharer-set mismatch at line " << line << " proc " << p;
+      }
+      // Mask/state agreement (the paper's reversion rule).
+      proto::DirEntry copy = e;
+      copy.recompute_lrc_state();
+      EXPECT_EQ(copy.state, e.state) << "stale state at line " << line;
+    }
+  });
+}
+
+class RandomProgram : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomProgram, AllProtocolsComputeTheSameResult) {
+  WorkloadSpec spec{8, 150, 50, GetParam()};
+  const std::uint64_t expected = run_random_program(ProtocolKind::kSC, spec);
+  for (auto kind : kAll) {
+    EXPECT_EQ(run_random_program(kind, spec), expected)
+        << "protocol " << to_string(kind) << " diverged";
+  }
+}
+
+TEST_P(RandomProgram, DirectoryConsistentAfterDrain) {
+  WorkloadSpec spec{8, 120, 40, GetParam()};
+  for (auto kind : kAll) {
+    Machine* m = nullptr;
+    run_random_program(kind, spec, &m);
+    ASSERT_NE(m, nullptr);
+    check_directory_consistency(*m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgram,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+TEST(Invariants, BreakdownAlwaysSumsToLocalTime) {
+  for (auto kind : kAll) {
+    WorkloadSpec spec{4, 200, 67, 99};
+    Machine* m = nullptr;
+    run_random_program(kind, spec, &m);
+    ASSERT_NE(m, nullptr);
+    for (NodeId p = 0; p < m->nprocs(); ++p) {
+      EXPECT_EQ(m->cpu(p).breakdown().total(), m->cpu(p).now())
+          << to_string(kind) << " cpu " << p;
+    }
+  }
+}
+
+TEST(Invariants, LockedCountersAreExact) {
+  // Heavier lock contention: all processors hammer one counter.
+  for (auto kind : kAll) {
+    Machine m(SystemParams::test_scale(8), kind);
+    auto counter = m.alloc<std::int64_t>(1, "c");
+    m.run([&](Cpu& cpu) {
+      for (int i = 0; i < 25; ++i) {
+        cpu.lock(1);
+        counter.put(cpu, 0, counter.get(cpu, 0) + 1);
+        cpu.unlock(1);
+      }
+    });
+    EXPECT_EQ(m.peek<std::int64_t>(counter.addr(0)), 8 * 25)
+        << to_string(kind);
+  }
+}
+
+TEST(Invariants, ProducerConsumerThroughLocks) {
+  // Classic release/acquire visibility: consumer must observe every value
+  // the producer published before releasing the lock.
+  for (auto kind : kAll) {
+    Machine m(SystemParams::test_scale(2), kind);
+    auto buf = m.alloc<double>(64, "buf");
+    auto ready = m.alloc<std::int32_t>(1, "ready");
+    bool consumer_ok = true;
+    m.run([&](Cpu& cpu) {
+      if (cpu.id() == 0) {
+        for (unsigned i = 0; i < 64; ++i) buf.put(cpu, i, 1.0 + i);
+        cpu.lock(1);
+        ready.put(cpu, 0, 1);
+        cpu.unlock(1);
+      } else {
+        // Poll under the lock (acquire gives us fresh data each time).
+        while (true) {
+          cpu.lock(1);
+          const bool is_ready = ready.get(cpu, 0) != 0;
+          cpu.unlock(1);
+          if (is_ready) break;
+          cpu.compute(200);
+        }
+        for (unsigned i = 0; i < 64; ++i) {
+          consumer_ok = consumer_ok && buf.get(cpu, i) == 1.0 + i;
+        }
+      }
+    });
+    EXPECT_TRUE(consumer_ok) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace lrc::core

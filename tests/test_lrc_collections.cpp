@@ -1,0 +1,162 @@
+// Directed tests of LRC's write-notice acknowledgement collections: each
+// writer waits for exactly the notices outstanding at its join time, never
+// for later writers' notices (the starvation fix documented in
+// docs/PROTOCOL.md).
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "proto/lrc.hpp"
+
+namespace lrc::core {
+namespace {
+
+constexpr Cycle kGap = 50'000;
+
+struct CollectionFixture : ::testing::Test {
+  CollectionFixture() : m(SystemParams::paper_default(8), ProtocolKind::kLRC) {
+    arr = m.alloc<double>(1024, "data");
+  }
+  proto::Lrc& lrc() { return dynamic_cast<proto::Lrc&>(m.protocol()); }
+  LineId line_of(std::size_t i) { return m.amap().line_of(arr.addr(i)); }
+  std::uint64_t sent(mesh::MsgKind k) {
+    return m.nic().stats().per_kind[static_cast<std::size_t>(k)];
+  }
+  Machine m;
+  SharedArray<double> arr;
+};
+
+TEST_F(CollectionFixture, SingleWriterCollectionCompletes) {
+  // Three readers cache the line; one writer announces. The writer's
+  // release must wait for exactly three notice acks.
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() >= 1 && cpu.id() <= 3) {
+      (void)arr.get(cpu, 0);
+    } else if (cpu.id() == 0) {
+      cpu.compute(kGap);
+      (void)arr.get(cpu, 0);
+      cpu.lock(1);
+      arr.put(cpu, 0, 1.0);
+      cpu.unlock(1);  // waits for the collection
+    }
+  });
+  EXPECT_EQ(sent(mesh::MsgKind::kWriteNotice), 3u);
+  EXPECT_EQ(sent(mesh::MsgKind::kNoticeAck), 3u);
+  EXPECT_EQ(sent(mesh::MsgKind::kWriteAck), 1u);
+  auto* e = lrc().directory().find(line_of(0));
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->collections.empty());
+  EXPECT_EQ(e->notices_outstanding, 0u);
+}
+
+TEST_F(CollectionFixture, SecondWriterWithNoNewTargetsAcksAfterOutstanding) {
+  // Writer A makes the line Weak (notices to the reader). Writer B joins
+  // while everyone is already notified: B's ack depends only on the
+  // outstanding notices, and both releases complete.
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() == 2) {
+      (void)arr.get(cpu, 0);
+    } else if (cpu.id() == 0) {
+      cpu.compute(kGap);
+      (void)arr.get(cpu, 0);
+      cpu.lock(1);
+      arr.put(cpu, 0, 1.0);
+      cpu.unlock(1);
+    } else if (cpu.id() == 1) {
+      cpu.compute(2 * kGap);
+      (void)arr.get(cpu, 0);
+      cpu.lock(2);
+      arr.put(cpu, 1, 2.0);
+      cpu.unlock(2);
+    }
+  });
+  // Every writer got its ack (releases completed — the run finished).
+  // B acquired lock 2 first, which invalidated its weak copy, so its write
+  // was a miss whose ack rode the data reply (kTagAcked) — only A's ack is
+  // a standalone message.
+  EXPECT_GE(sent(mesh::MsgKind::kWriteAck), 1u);
+  auto* e = lrc().directory().find(line_of(0));
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->collections.empty());
+  EXPECT_EQ(e->notices_outstanding, 0u);
+}
+
+TEST_F(CollectionFixture, ManyWritersOneHotLineAllComplete) {
+  // The locusroute pathology in miniature: every processor repeatedly
+  // writes one line and releases. With merged collections this starved;
+  // with per-writer countdowns it must finish with bounded acks.
+  m.run([&](Cpu& cpu) {
+    for (int round = 0; round < 5; ++round) {
+      (void)arr.get(cpu, cpu.id());
+      cpu.lock(7);
+      arr.put(cpu, cpu.id(), static_cast<double>(round));
+      cpu.unlock(7);
+      cpu.compute(100 * (cpu.id() + 1));
+    }
+    cpu.barrier(0);
+  });
+  for (unsigned p = 0; p < 8; ++p) {
+    EXPECT_DOUBLE_EQ(m.peek<double>(arr.addr(p)), 4.0);
+  }
+  lrc().directory().for_each([](LineId, proto::DirEntry& e) {
+    EXPECT_TRUE(e.collections.empty());
+    EXPECT_EQ(e.notices_outstanding, 0u);
+  });
+}
+
+TEST_F(CollectionFixture, EarlyWriterDoesNotWaitForLateWriter) {
+  // Writer A's release should complete in roughly one notice round trip,
+  // even though writer B keeps adding new notices right behind it.
+  Cycle a_unlock_elapsed = 0;
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() >= 2) {
+      (void)arr.get(cpu, 0);  // six readers to notify
+    } else if (cpu.id() == 0) {
+      cpu.compute(kGap);
+      (void)arr.get(cpu, 0);
+      cpu.lock(1);
+      arr.put(cpu, 0, 1.0);
+      const Cycle before = cpu.now();
+      cpu.unlock(1);
+      a_unlock_elapsed = cpu.now() - before;
+    } else if (cpu.id() == 1) {
+      // B floods the same line with writes from a different lock, starting
+      // just after A.
+      cpu.compute(kGap + 200);
+      (void)arr.get(cpu, 0);
+      for (int i = 0; i < 10; ++i) {
+        cpu.lock(2);
+        arr.put(cpu, 1, static_cast<double>(i));
+        cpu.unlock(2);
+      }
+    }
+  });
+  // A's drain is bounded by its own collection (~1 round trip + processing),
+  // far below the cost of waiting for B's ten subsequent collections.
+  EXPECT_LT(a_unlock_elapsed, 3000u);
+}
+
+TEST_F(CollectionFixture, EvictedSharerStillAcks) {
+  // A sharer whose copy is evicted before the notice arrives must still
+  // acknowledge so the writer's release can complete.
+  const std::uint32_t sets = m.params().cache_bytes / m.params().line_bytes;
+  const std::size_t stride_elems =
+      static_cast<std::size_t>(sets) * m.params().line_bytes / sizeof(double);
+  auto big = m.alloc<double>(stride_elems + 64, "big");
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() == 1) {
+      (void)big.get(cpu, 0);
+      (void)big.get(cpu, stride_elems);  // evict it again right away
+      cpu.compute(3 * kGap);
+    } else if (cpu.id() == 0) {
+      cpu.compute(kGap);
+      (void)big.get(cpu, 0);
+      cpu.lock(1);
+      big.put(cpu, 0, 1.0);
+      cpu.unlock(1);  // must not hang on the evicted sharer
+    }
+  });
+  EXPECT_DOUBLE_EQ(m.peek<double>(big.addr(0)), 1.0);
+}
+
+}  // namespace
+}  // namespace lrc::core

@@ -1,0 +1,186 @@
+// Machine-level timing tests, anchored to the paper's §3 worked example:
+// an uncontended cache fill over 10 mesh hops costs
+//   request 30 + memory (20 + 128/2) + reply (30 + 128/2) + bus fill 128/2
+//   = 30 + 84 + 94 + 64 = 272 cycles.
+#include "core/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "proto/base.hpp"
+
+namespace lrc::core {
+namespace {
+
+constexpr Addr kRemoteAddr = 59 * 4096;  // page 59 -> node 59: 10 hops from 0
+
+class ProtocolCase : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(ProtocolCase, UncontendedRemoteReadCosts272Cycles) {
+  Machine m(SystemParams::paper_default(64), GetParam());
+  ASSERT_EQ(m.topo().hops(0, 59), 10u);
+  m.alloc_bytes(60 * 4096, "span");
+
+  Cycle read_done = 0;
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() != 0) return;
+    cpu.read<double>(kRemoteAddr);
+    read_done = cpu.now();
+  });
+  // 272 for the fill + 1 cycle to issue the reference.
+  EXPECT_EQ(read_done, 273u);
+}
+
+TEST_P(ProtocolCase, CacheHitCostsOneCycle) {
+  Machine m(SystemParams::paper_default(64), GetParam());
+  m.alloc_bytes(60 * 4096, "span");
+  Cycle first = 0;
+  Cycle second = 0;
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() != 0) return;
+    cpu.read<double>(kRemoteAddr);
+    first = cpu.now();
+    cpu.read<double>(kRemoteAddr + 8);  // same line
+    second = cpu.now();
+  });
+  EXPECT_EQ(second - first, 1u);
+}
+
+TEST_P(ProtocolCase, LocalReadSkipsTheMesh) {
+  Machine m(SystemParams::paper_default(64), GetParam());
+  m.alloc_bytes(60 * 4096, "span");
+  Cycle done = 0;
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() != 0) return;
+    cpu.read<double>(0);  // page 0 homed at node 0
+    done = cpu.now();
+  });
+  // memory 84 + local data transfer 64 + bus fill 64 + issue 1 = 213.
+  EXPECT_EQ(done, 84u + 64u + 64u + 1u);
+}
+
+TEST_P(ProtocolCase, DeterministicAcrossRuns) {
+  auto run_once = [&] {
+    Machine m(SystemParams::test_scale(8), GetParam());
+    auto arr = m.alloc<double>(512, "a");
+    m.run([&](Cpu& cpu) {
+      for (std::size_t i = cpu.id(); i < arr.size(); i += cpu.nprocs()) {
+        arr.put(cpu, i, 1.0);
+      }
+      cpu.barrier(0);
+      double s = 0;
+      for (std::size_t i = 0; i < arr.size(); ++i) s += arr.get(cpu, i);
+      cpu.lock(1);
+      cpu.unlock(1);
+    });
+    return m.report().execution_time;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_P(ProtocolCase, BreakdownSumsToLocalTime) {
+  Machine m(SystemParams::test_scale(4), GetParam());
+  auto arr = m.alloc<double>(256, "a");
+  m.run([&](Cpu& cpu) {
+    for (std::size_t i = cpu.id(); i < arr.size(); i += cpu.nprocs()) {
+      arr.put(cpu, i, 2.0);
+    }
+    cpu.barrier(0);
+    for (std::size_t i = 0; i < arr.size(); ++i) (void)arr.get(cpu, i);
+  });
+  for (NodeId p = 0; p < m.nprocs(); ++p) {
+    EXPECT_EQ(m.cpu(p).breakdown().total(), m.cpu(p).now()) << "cpu " << p;
+  }
+}
+
+TEST_P(ProtocolCase, NothingOutstandingAfterRun) {
+  Machine m(SystemParams::test_scale(4), GetParam());
+  auto arr = m.alloc<double>(256, "a");
+  m.run([&](Cpu& cpu) {
+    for (std::size_t i = cpu.id(); i < arr.size(); i += cpu.nprocs()) {
+      arr.put(cpu, i, 2.0);
+    }
+  });
+  for (NodeId p = 0; p < m.nprocs(); ++p) {
+    EXPECT_TRUE(m.cpu(p).ot().empty());
+    EXPECT_TRUE(m.cpu(p).wb().empty());
+    EXPECT_TRUE(m.cpu(p).cb().empty());
+    EXPECT_EQ(m.cpu(p).wt_outstanding, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolCase,
+                         ::testing::Values(ProtocolKind::kSC,
+                                           ProtocolKind::kERC,
+                                           ProtocolKind::kLRC,
+                                           ProtocolKind::kLRCExt),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param)) ==
+                                          "LRC-ext"
+                                      ? "LRCext"
+                                      : std::string(to_string(info.param));
+                         });
+
+TEST(Machine, RunTwiceThrows) {
+  Machine m(SystemParams::test_scale(2), ProtocolKind::kSC);
+  m.run([](Cpu&) {});
+  EXPECT_THROW(m.run([](Cpu&) {}), std::logic_error);
+}
+
+TEST(Machine, AllocationsAreLineAligned) {
+  Machine m(SystemParams::paper_default(4), ProtocolKind::kSC);
+  m.alloc_bytes(5, "tiny");
+  const Addr a = m.alloc_bytes(100, "next");
+  EXPECT_EQ(a % 128, 0u);
+}
+
+TEST(Machine, PeekPokeRoundTrip) {
+  Machine m(SystemParams::test_scale(2), ProtocolKind::kSC);
+  auto arr = m.alloc<double>(4, "x");
+  m.poke_mem(arr.addr(2), 7.5);
+  EXPECT_DOUBLE_EQ(m.peek<double>(arr.addr(2)), 7.5);
+}
+
+TEST(Machine, ComputeChargesCpuCycles) {
+  Machine m(SystemParams::test_scale(2), ProtocolKind::kSC);
+  m.run([](Cpu& cpu) { cpu.compute(1000); });
+  EXPECT_EQ(m.cpu(0).now(), 1000u);
+  EXPECT_EQ(m.cpu(0).breakdown()[stats::StallKind::kCpu], 1000u);
+}
+
+TEST(Machine, RunaheadQuantumDoesNotChangeTotals) {
+  auto run_with_quantum = [](Cycle q) {
+    auto params = SystemParams::test_scale(4);
+    params.runahead_quantum = q;
+    Machine m(params, ProtocolKind::kLRC);
+    auto arr = m.alloc<double>(256, "a");
+    m.run([&](Cpu& cpu) {
+      for (std::size_t i = cpu.id(); i < arr.size(); i += cpu.nprocs()) {
+        arr.put(cpu, i, 1.0);
+      }
+      cpu.barrier(0);
+    });
+    double sum = 0;
+    for (std::size_t i = 0; i < 256; ++i) sum += m.peek<double>(arr.addr(i));
+    return sum;
+  };
+  // Timing may shift with the interleaving quantum, but results must not.
+  EXPECT_DOUBLE_EQ(run_with_quantum(10), 256.0);
+  EXPECT_DOUBLE_EQ(run_with_quantum(100000), 256.0);
+}
+
+TEST(Machine, FutureMachineFillCost) {
+  // §4.3 machine: request 30, memory 40 + 256/4 = 104, reply 30 + 64 = 94,
+  // bus fill 64 -> 292 cycles (+1 issue).
+  Machine m(SystemParams::future_machine(64), ProtocolKind::kLRC);
+  m.alloc_bytes(60 * 4096, "span");
+  Cycle done = 0;
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() != 0) return;
+    cpu.read<double>(kRemoteAddr);
+    done = cpu.now();
+  });
+  EXPECT_EQ(done, 30u + 104u + 94u + 64u + 1u);
+}
+
+}  // namespace
+}  // namespace lrc::core

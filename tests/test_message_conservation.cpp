@@ -1,0 +1,122 @@
+// Message-conservation properties: every request pairs with its response
+// class, notices pair with acks, and nothing leaks. Checked over randomized
+// race-free programs per protocol.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "sim/rng.hpp"
+
+namespace lrc::core {
+namespace {
+
+using mesh::MsgKind;
+
+std::uint64_t kind_count(const Report& r, MsgKind k) {
+  return r.nic.per_kind[static_cast<std::size_t>(k)];
+}
+
+Report run_random(ProtocolKind kind, std::uint64_t seed) {
+  Machine m(SystemParams::test_scale(8), kind);
+  constexpr unsigned kSlice = 48;
+  auto data = m.alloc<double>(8 * kSlice, "slices");
+  auto counters = m.alloc<std::int64_t>(4, "counters");
+  m.run([&](Cpu& cpu) {
+    sim::Rng rng(seed * 31 + cpu.id());
+    const unsigned base = cpu.id() * kSlice;
+    for (unsigned op = 0; op < 120; ++op) {
+      switch (rng.below(4)) {
+        case 0:
+          data.put(cpu, base + rng.below(kSlice),
+                   static_cast<double>(op));
+          break;
+        case 1:
+          (void)data.get(cpu, rng.below(8 * kSlice));
+          break;
+        case 2: {
+          const SyncId lk = static_cast<SyncId>(rng.below(4));
+          cpu.lock(50 + lk);
+          counters.put(cpu, lk, counters.get(cpu, lk) + 1);
+          cpu.unlock(50 + lk);
+          break;
+        }
+        case 3:
+          cpu.compute(1 + rng.below(30));
+          break;
+      }
+      if ((op + 1) % 40 == 0) cpu.barrier(0);
+    }
+  });
+  return m.report();
+}
+
+class Conservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Conservation, SyncMessagesBalance) {
+  for (auto kind : {ProtocolKind::kSC, ProtocolKind::kERC, ProtocolKind::kLRC,
+                    ProtocolKind::kLRCExt}) {
+    const Report r = run_random(kind, GetParam());
+    // Every lock request is eventually granted exactly once.
+    EXPECT_EQ(kind_count(r, MsgKind::kLockReq),
+              kind_count(r, MsgKind::kLockGrant))
+        << to_string(kind);
+    EXPECT_EQ(kind_count(r, MsgKind::kLockGrant), r.lock_acquires)
+        << to_string(kind);
+    // Barrier releases = arrivals = episodes * processors.
+    EXPECT_EQ(kind_count(r, MsgKind::kBarrierArrive),
+              kind_count(r, MsgKind::kBarrierRelease))
+        << to_string(kind);
+    EXPECT_EQ(kind_count(r, MsgKind::kBarrierArrive),
+              r.barrier_episodes * r.nprocs)
+        << to_string(kind);
+  }
+}
+
+TEST_P(Conservation, LrcNoticeAndWriteThroughBalance) {
+  for (auto kind : {ProtocolKind::kLRC, ProtocolKind::kLRCExt}) {
+    const Report r = run_random(kind, GetParam());
+    EXPECT_EQ(kind_count(r, MsgKind::kWriteNotice),
+              kind_count(r, MsgKind::kNoticeAck))
+        << to_string(kind);
+    EXPECT_EQ(kind_count(r, MsgKind::kWriteThrough),
+              kind_count(r, MsgKind::kWriteThroughAck))
+        << to_string(kind);
+    // Every data request got exactly one data reply.
+    EXPECT_EQ(kind_count(r, MsgKind::kReadReq),
+              kind_count(r, MsgKind::kReadReply))
+        << to_string(kind);
+    // LRC never uses the MSI machinery.
+    EXPECT_EQ(kind_count(r, MsgKind::kInval), 0u) << to_string(kind);
+    EXPECT_EQ(kind_count(r, MsgKind::kFwdReadReq), 0u) << to_string(kind);
+    EXPECT_EQ(kind_count(r, MsgKind::kFwdReadExReq), 0u) << to_string(kind);
+    EXPECT_EQ(kind_count(r, MsgKind::kWritebackData), 0u) << to_string(kind);
+  }
+}
+
+TEST_P(Conservation, MsiInvalBalance) {
+  for (auto kind : {ProtocolKind::kSC, ProtocolKind::kERC}) {
+    const Report r = run_random(kind, GetParam());
+    // Plain invalidations are acked 1:1 (ownership-transfer and NACK acks
+    // arrive without a preceding kInval, so acks >= invals).
+    EXPECT_GE(kind_count(r, MsgKind::kInvalAck),
+              kind_count(r, MsgKind::kInval))
+        << to_string(kind);
+    // MSI never uses the LRC machinery.
+    EXPECT_EQ(kind_count(r, MsgKind::kWriteNotice), 0u) << to_string(kind);
+    EXPECT_EQ(kind_count(r, MsgKind::kWriteThrough), 0u) << to_string(kind);
+    EXPECT_EQ(kind_count(r, MsgKind::kWriteReq), 0u) << to_string(kind);
+    EXPECT_EQ(kind_count(r, MsgKind::kEvictNotify), 0u) << to_string(kind);
+  }
+}
+
+TEST_P(Conservation, SequentialConsistencyHasNoBufferedWrites) {
+  const Report r = run_random(ProtocolKind::kSC, GetParam());
+  // SC commits each write before proceeding: the write category reflects
+  // full stalls and the write buffer never coalesces anything.
+  EXPECT_EQ(kind_count(r, MsgKind::kWriteThrough), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Conservation,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace lrc::core

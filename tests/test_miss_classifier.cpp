@@ -1,0 +1,116 @@
+#include "stats/miss_classifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lrc::stats {
+namespace {
+
+// 2 processors, 8 words per line.
+struct ClassifierFixture : ::testing::Test {
+  MissClassifier c{2, 8};
+};
+
+TEST_F(ClassifierFixture, FirstAccessIsCold) {
+  EXPECT_EQ(c.classify(0, 5, 0, false), MissClass::kCold);
+  EXPECT_EQ(c.counts(0)[MissClass::kCold], 1u);
+}
+
+TEST_F(ClassifierFixture, UpgradeIsWriteMiss) {
+  c.on_fill(0, 5);
+  EXPECT_EQ(c.classify(0, 5, 0, true), MissClass::kWrite);
+}
+
+TEST_F(ClassifierFixture, EvictionWithNoForeignWritesIsEviction) {
+  c.classify(0, 5, 0, false);
+  c.on_fill(0, 5);
+  c.on_copy_lost(0, 5, /*coherence=*/false);
+  EXPECT_EQ(c.classify(0, 5, 0, false), MissClass::kEviction);
+}
+
+TEST_F(ClassifierFixture, ForeignWriteToMissedWordIsTrueSharing) {
+  c.classify(0, 5, 0, false);
+  c.on_fill(0, 5);
+  c.on_write_committed(1, 5, 0x1);  // proc 1 writes word 0
+  c.on_copy_lost(0, 5, /*coherence=*/true);
+  EXPECT_EQ(c.classify(0, 5, 0, false), MissClass::kTrueSharing);
+}
+
+TEST_F(ClassifierFixture, ForeignWriteToOtherWordIsFalseSharing) {
+  c.classify(0, 5, 0, false);
+  c.on_fill(0, 5);
+  c.on_write_committed(1, 5, 0x80);  // proc 1 writes word 7
+  c.on_copy_lost(0, 5, /*coherence=*/true);
+  EXPECT_EQ(c.classify(0, 5, 0, false), MissClass::kFalseSharing);
+}
+
+TEST_F(ClassifierFixture, EvictionFollowedByForeignWriteIsSharing) {
+  // The copy died by replacement, but another processor wrote the word
+  // before the re-reference: an infinite cache would have been invalidated
+  // too, so this is a sharing miss, not an eviction miss.
+  c.classify(0, 5, 0, false);
+  c.on_fill(0, 5);
+  c.on_copy_lost(0, 5, /*coherence=*/false);
+  c.on_write_committed(1, 5, 0x1);
+  EXPECT_EQ(c.classify(0, 5, 0, false), MissClass::kTrueSharing);
+}
+
+TEST_F(ClassifierFixture, OwnWritesDoNotCreateSharing) {
+  c.classify(0, 5, 0, false);
+  c.on_fill(0, 5);
+  c.on_write_committed(0, 5, 0xFF);  // own writes
+  c.on_copy_lost(0, 5, /*coherence=*/false);
+  EXPECT_EQ(c.classify(0, 5, 0, false), MissClass::kEviction);
+}
+
+TEST_F(ClassifierFixture, ForeignWriteBeforeFillDoesNotCount) {
+  c.on_write_committed(1, 5, 0x1);  // before proc 0 ever had the line
+  c.classify(0, 5, 0, false);
+  c.on_fill(0, 5);                  // fetched copy includes that write
+  c.on_copy_lost(0, 5, /*coherence=*/false);
+  EXPECT_EQ(c.classify(0, 5, 0, false), MissClass::kEviction);
+}
+
+TEST_F(ClassifierFixture, UselessInvalidationIsFalseSharing) {
+  // Invalidated (e.g. by a lingering notice) but no foreign write actually
+  // intervened: the notice was useless — charge false sharing.
+  c.classify(0, 5, 0, false);
+  c.on_fill(0, 5);
+  c.on_copy_lost(0, 5, /*coherence=*/true);
+  EXPECT_EQ(c.classify(0, 5, 0, false), MissClass::kFalseSharing);
+}
+
+TEST_F(ClassifierFixture, LazyInvalidationWindowStartsAtFill) {
+  // LRC pattern: foreign write happens while we still cache the line
+  // (stale), the invalidation applies later at an acquire. The foreign
+  // write is inside the (fill, now) window, so the re-miss is sharing.
+  c.classify(0, 5, 2, false);
+  c.on_fill(0, 5);
+  c.on_write_committed(1, 5, 0x4);  // word 2, while proc 0 still caches
+  c.on_copy_lost(0, 5, /*coherence=*/true);  // applied at acquire, later
+  EXPECT_EQ(c.classify(0, 5, 2, false), MissClass::kTrueSharing);
+}
+
+TEST_F(ClassifierFixture, AggregatesAcrossProcessors) {
+  c.classify(0, 1, 0, false);
+  c.classify(1, 2, 0, false);
+  c.classify(1, 3, 0, true);
+  const MissCounts total = c.aggregate();
+  EXPECT_EQ(total[MissClass::kCold], 2u);
+  EXPECT_EQ(total[MissClass::kWrite], 1u);
+  EXPECT_EQ(total.total(), 3u);
+}
+
+TEST_F(ClassifierFixture, RefillResetsWindow) {
+  c.classify(0, 5, 0, false);
+  c.on_fill(0, 5);
+  c.on_write_committed(1, 5, 0x1);
+  c.on_copy_lost(0, 5, true);
+  c.classify(0, 5, 0, false);  // true sharing; refetches
+  c.on_fill(0, 5);
+  c.on_copy_lost(0, 5, false);
+  // No foreign writes since the second fill: eviction, not sharing.
+  EXPECT_EQ(c.classify(0, 5, 0, false), MissClass::kEviction);
+}
+
+}  // namespace
+}  // namespace lrc::stats

@@ -1,0 +1,121 @@
+#include "mesh/nic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace lrc::mesh {
+namespace {
+
+struct Delivery {
+  Message msg;
+  Cycle when;
+};
+
+struct NicFixture : ::testing::Test {
+  NicFixture() : topo(64), nic(engine, topo, NicParams{}) {
+    nic.set_deliver([this](const Message& m, Cycle t) {
+      log.push_back(Delivery{m, t});
+    });
+  }
+
+  Message make(NodeId src, NodeId dst, std::uint32_t payload = 0) {
+    Message m;
+    m.kind = MsgKind::kReadReq;
+    m.src = src;
+    m.dst = dst;
+    m.payload_bytes = payload;
+    return m;
+  }
+
+  sim::Engine engine;
+  Topology topo;
+  Nic nic;
+  std::vector<Delivery> log;
+};
+
+TEST_F(NicFixture, ControlMessageLatencyMatchesPaperModel) {
+  // Paper worked example (§3): request over 10 hops costs
+  // (switch + wire) * 10 = 30 cycles.
+  const NodeId src = 0;
+  const NodeId dst = 59;  // (7,3) in an 8x8 mesh: 7 + 3 = 10 hops
+  ASSERT_EQ(topo.hops(src, dst), 10u);
+  EXPECT_EQ(nic.uncontended_latency(src, dst, 0), 30u);
+
+  nic.send(100, make(src, dst));
+  engine.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].when, 130u);
+}
+
+TEST_F(NicFixture, DataMessageAddsSerializationTime) {
+  // Paper worked example: 128-byte reply over 10 hops costs 30 + 128/2 = 94.
+  EXPECT_EQ(nic.uncontended_latency(0, 59, 128), 94u);
+}
+
+TEST_F(NicFixture, SelfMessagePaysOnlyPayload) {
+  EXPECT_EQ(nic.uncontended_latency(5, 5, 0), 0u);
+  EXPECT_EQ(nic.uncontended_latency(5, 5, 128), 64u);
+}
+
+TEST_F(NicFixture, PerPairFifoOrderIsPreserved) {
+  // A small control message sent after a large data message between the
+  // same pair must not overtake it.
+  Message big = make(0, 63, 512);
+  big.tag = 1;
+  Message small = make(0, 63, 0);
+  small.tag = 2;
+  nic.send(0, big);
+  nic.send(0, small);
+  engine.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].msg.tag, 1u);
+  EXPECT_EQ(log[1].msg.tag, 2u);
+  EXPECT_LT(log[0].when, log[1].when);
+}
+
+TEST_F(NicFixture, SenderSerializesDepartures) {
+  // Two messages from the same node at the same time: the second departs
+  // after the first's occupancy (header 8 bytes / 2 B/cy = 4 cycles).
+  nic.send(0, make(0, 1));
+  nic.send(0, make(0, 2));
+  engine.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].when, 3u);      // 1 hop * 3
+  EXPECT_EQ(log[1].when, 4u + 6u); // departs at 4, 2 hops * 3
+  EXPECT_GT(nic.stats().send_contention, 0u);
+}
+
+TEST_F(NicFixture, ReceiverSerializesDeliveries) {
+  // Two messages from different sources arriving together at one node: the
+  // second waits for the first's receive occupancy.
+  nic.send(0, make(1, 0));   // 1 hop -> arrives 3
+  nic.send(0, make(8, 0));   // 1 hop -> arrives 3
+  engine.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].when, 3u);
+  EXPECT_EQ(log[1].when, 7u);  // 3 + header occupancy 4
+  EXPECT_EQ(nic.stats().recv_contention, 4u);
+}
+
+TEST_F(NicFixture, StatsCountKindsAndPayload) {
+  nic.send(0, make(0, 1, 0));
+  nic.send(0, make(0, 1, 128));
+  engine.run();
+  EXPECT_EQ(nic.stats().messages, 2u);
+  EXPECT_EQ(nic.stats().control_messages, 1u);
+  EXPECT_EQ(nic.stats().data_messages, 1u);
+  EXPECT_EQ(nic.stats().payload_bytes, 128u);
+  EXPECT_EQ(nic.stats().per_kind[static_cast<std::size_t>(MsgKind::kReadReq)],
+            2u);
+}
+
+TEST_F(NicFixture, HigherBandwidthShortensDataLatency) {
+  Nic fast(engine, topo, NicParams{2, 1, /*bandwidth=*/4, 8});
+  EXPECT_EQ(fast.uncontended_latency(0, 59, 128), 30u + 32u);
+}
+
+}  // namespace
+}  // namespace lrc::mesh

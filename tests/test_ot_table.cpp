@@ -1,0 +1,63 @@
+#include "cache/ot_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lrc::cache {
+namespace {
+
+TEST(OtTable, CreateAndFind) {
+  OtTable ot;
+  EXPECT_TRUE(ot.empty());
+  bool created = false;
+  OtEntry& e = ot.get_or_create(42, &created);
+  EXPECT_TRUE(created);
+  EXPECT_EQ(e.line, 42u);
+  EXPECT_EQ(ot.find(42), &e);
+  EXPECT_EQ(ot.find(43), nullptr);
+}
+
+TEST(OtTable, MergesRepeatedRequests) {
+  OtTable ot;
+  bool created = false;
+  ot.get_or_create(42, &created);
+  OtEntry& e2 = ot.get_or_create(42, &created);
+  EXPECT_FALSE(created);
+  e2.data_pending = true;
+  EXPECT_TRUE(ot.find(42)->data_pending);
+  EXPECT_EQ(ot.size(), 1u);
+  EXPECT_EQ(ot.stats().allocated, 1u);
+  EXPECT_EQ(ot.stats().merged, 1u);
+}
+
+TEST(OtTable, EraseEmptiesTable) {
+  OtTable ot;
+  ot.get_or_create(1, nullptr);
+  ot.get_or_create(2, nullptr);
+  ot.erase(1);
+  EXPECT_EQ(ot.size(), 1u);
+  ot.erase(2);
+  EXPECT_TRUE(ot.empty());
+}
+
+TEST(OtTable, DoneReflectsPendingWork) {
+  OtEntry e;
+  EXPECT_TRUE(e.done());
+  e.data_pending = true;
+  EXPECT_FALSE(e.done());
+  e.data_pending = false;
+  e.acks_pending = 2;
+  EXPECT_FALSE(e.done());
+  e.acks_pending = 0;
+  EXPECT_TRUE(e.done());
+}
+
+TEST(OtTable, ForEachVisitsAll) {
+  OtTable ot;
+  for (LineId l = 0; l < 5; ++l) ot.get_or_create(l, nullptr);
+  unsigned n = 0;
+  ot.for_each([&](OtEntry&) { ++n; });
+  EXPECT_EQ(n, 5u);
+}
+
+}  // namespace
+}  // namespace lrc::cache

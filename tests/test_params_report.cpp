@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "core/params.hpp"
+#include "core/report.hpp"
+
+namespace lrc::core {
+namespace {
+
+TEST(Params, PaperDefaultsMatchTable1) {
+  const auto p = SystemParams::paper_default();
+  EXPECT_EQ(p.nprocs, 64u);
+  EXPECT_EQ(p.line_bytes, 128u);
+  EXPECT_EQ(p.cache_bytes, 128u * 1024u);
+  EXPECT_EQ(p.mem_setup, 20u);
+  EXPECT_EQ(p.mem_bandwidth, 2u);
+  EXPECT_EQ(p.bus_bandwidth, 2u);
+  EXPECT_EQ(p.net_bandwidth, 2u);
+  EXPECT_EQ(p.switch_latency, 2u);
+  EXPECT_EQ(p.wire_latency, 1u);
+  EXPECT_EQ(p.write_notice_cost, 4u);
+  EXPECT_EQ(p.lrc_dir_cost, 25u);
+  EXPECT_EQ(p.erc_dir_cost, 15u);
+  EXPECT_EQ(p.write_buffer_entries, 4u);
+  EXPECT_EQ(p.coalescing_entries, 16u);
+}
+
+TEST(Params, FutureMachineMatchesSection43) {
+  const auto p = SystemParams::future_machine();
+  EXPECT_EQ(p.mem_setup, 40u);
+  EXPECT_EQ(p.mem_bandwidth, 4u);
+  EXPECT_EQ(p.line_bytes, 256u);
+}
+
+TEST(Params, DescribeMentionsEveryTableEntry) {
+  const std::string d = SystemParams::paper_default().describe();
+  for (const char* needle :
+       {"128 bytes", "128 Kbytes", "20 cycles", "2 bytes/cycle",
+        "1 cycles", "25 cycles", "15 cycles", "4 entries", "16 entries"}) {
+    EXPECT_NE(d.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Params, ProtocolNames) {
+  EXPECT_EQ(to_string(ProtocolKind::kSC), "SC");
+  EXPECT_EQ(to_string(ProtocolKind::kERC), "ERC");
+  EXPECT_EQ(to_string(ProtocolKind::kLRC), "LRC");
+  EXPECT_EQ(to_string(ProtocolKind::kLRCExt), "LRC-ext");
+}
+
+TEST(Report, SummaryContainsKeyNumbers) {
+  Machine m(SystemParams::test_scale(4), ProtocolKind::kLRC);
+  auto arr = m.alloc<double>(128, "a");
+  m.run([&](Cpu& cpu) {
+    for (std::size_t i = cpu.id(); i < arr.size(); i += cpu.nprocs()) {
+      arr.put(cpu, i, 1.0);
+    }
+    cpu.barrier(0);
+  });
+  const Report r = m.report();
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("LRC"), std::string::npos);
+  EXPECT_NE(s.find("execution time"), std::string::npos);
+  EXPECT_NE(s.find("miss rate"), std::string::npos);
+  EXPECT_NE(s.find("barrier episodes: 1"), std::string::npos);
+  EXPECT_EQ(r.nprocs, 4u);
+  EXPECT_EQ(r.per_cpu.size(), 4u);
+}
+
+TEST(Report, AggregateEqualsPerCpuSum) {
+  Machine m(SystemParams::test_scale(4), ProtocolKind::kERC);
+  auto arr = m.alloc<double>(256, "a");
+  m.run([&](Cpu& cpu) {
+    for (std::size_t i = 0; i < arr.size(); ++i) (void)arr.get(cpu, i);
+  });
+  const Report r = m.report();
+  stats::CpuBreakdown sum;
+  for (const auto& b : r.per_cpu) sum += b;
+  EXPECT_EQ(sum.total(), r.breakdown.total());
+}
+
+TEST(Report, ExecutionTimeIsMaxOverProcessors) {
+  Machine m(SystemParams::test_scale(4), ProtocolKind::kSC);
+  m.run([&](Cpu& cpu) { cpu.compute(100 * (cpu.id() + 1)); });
+  EXPECT_EQ(m.report().execution_time, 400u);
+}
+
+}  // namespace
+}  // namespace lrc::core

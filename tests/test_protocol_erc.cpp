@@ -1,0 +1,157 @@
+// Directed scenario tests for DASH-like eager release consistency.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "proto/msi.hpp"
+
+namespace lrc::core {
+namespace {
+
+constexpr Cycle kGap = 50'000;
+
+struct ErcFixture : ::testing::Test {
+  ErcFixture() : m(SystemParams::paper_default(8), ProtocolKind::kERC) {
+    arr = m.alloc<double>(1024, "data");
+  }
+  proto::Directory& dir() {
+    return dynamic_cast<proto::ProtocolBase&>(m.protocol()).directory();
+  }
+  LineId line_of(std::size_t i) { return m.amap().line_of(arr.addr(i)); }
+
+  Machine m;
+  SharedArray<double> arr;
+};
+
+TEST_F(ErcFixture, WriteMissDoesNotStallTheProcessor) {
+  Cycle write_elapsed = 0;
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() != 0) return;
+    const Cycle before = cpu.now();
+    arr.put(cpu, 512, 1.0);  // remote line, definitely a miss
+    write_elapsed = cpu.now() - before;
+  });
+  // The write retires into the buffer: one issue cycle, no round trip.
+  EXPECT_LE(write_elapsed, 2u);
+  EXPECT_EQ(m.report().cache.write_misses, 1u);
+}
+
+TEST_F(ErcFixture, ReleaseStallsUntilWritesPerform) {
+  Cycle unlock_elapsed = 0;
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() != 0) return;
+    cpu.lock(1);
+    arr.put(cpu, 512, 1.0);
+    const Cycle before = cpu.now();
+    cpu.unlock(1);
+    unlock_elapsed = cpu.now() - before;
+  });
+  // The release waited for the outstanding write's round trip.
+  EXPECT_GT(unlock_elapsed, 100u);
+  EXPECT_GT(m.cpu(0).breakdown()[stats::StallKind::kSync], 100u);
+}
+
+TEST_F(ErcFixture, WritesToSameLineCoalesceInTheBuffer) {
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() != 0) return;
+    arr.put(cpu, 0, 1.0);
+    arr.put(cpu, 1, 2.0);  // same cache line, transaction still in flight
+    arr.put(cpu, 2, 3.0);
+  });
+  EXPECT_EQ(m.report().cache.write_misses, 1u);
+  EXPECT_GE(m.cpu(0).wb().stats().coalesced, 0u);  // merged while pending
+  // Only one exclusive fetch went out.
+  EXPECT_EQ(m.report().nic.per_kind[static_cast<std::size_t>(
+                mesh::MsgKind::kReadExReq)],
+            1u);
+}
+
+TEST_F(ErcFixture, ReadsBypassBufferedWrites) {
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() != 0) return;
+    arr.put(cpu, 512, 7.5);
+    // Immediately read back: served from the write buffer, no extra miss.
+    EXPECT_DOUBLE_EQ(arr.get(cpu, 512), 7.5);
+  });
+  EXPECT_EQ(m.report().cache.read_misses, 0u);
+}
+
+TEST_F(ErcFixture, BufferFullStallsTheFifthWrite) {
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() != 0) return;
+    // Five distinct remote lines: the buffer holds four transactions.
+    for (std::size_t i = 0; i < 5; ++i) {
+      arr.put(cpu, 16 * i, 1.0);
+    }
+  });
+  EXPECT_GT(m.cpu(0).breakdown()[stats::StallKind::kWrite], 0u);
+  EXPECT_GE(m.cpu(0).wb().stats().full_stalls, 1u);
+}
+
+TEST_F(ErcFixture, InvalidationsAreEager) {
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() == 1) {
+      (void)arr.get(cpu, 0);
+    } else if (cpu.id() == 0) {
+      cpu.compute(kGap);
+      arr.put(cpu, 0, 1.0);
+      cpu.compute(kGap);  // give the invalidation time to land
+    }
+  });
+  // Reader's copy is gone even though it never synchronized — eager RC
+  // invalidates at write time (contrast with the LRC test).
+  EXPECT_EQ(m.cpu(1).dcache().find(line_of(0)), nullptr);
+}
+
+TEST_F(ErcFixture, UpgradeRetiresOnlyAfterAcksCollected) {
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() < 4 && cpu.id() != 0) {
+      (void)arr.get(cpu, 0);  // three readers
+    } else if (cpu.id() == 0) {
+      (void)arr.get(cpu, 0);
+      cpu.compute(kGap);
+      cpu.lock(1);
+      arr.put(cpu, 0, 1.0);
+      cpu.unlock(1);  // waits for all invalidation acks
+    }
+  });
+  const auto& kinds = m.report().nic.per_kind;
+  EXPECT_EQ(kinds[static_cast<std::size_t>(mesh::MsgKind::kInval)], 3u);
+  EXPECT_EQ(kinds[static_cast<std::size_t>(mesh::MsgKind::kInvalAck)], 3u);
+  auto* e = dir().find(line_of(0));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, proto::DirState::kDirty);
+  EXPECT_EQ(e->owner(), 0u);
+}
+
+TEST_F(ErcFixture, NoWriteThroughTraffic) {
+  // ERC uses a write-back cache: no WriteThrough messages ever.
+  m.run([&](Cpu& cpu) {
+    for (std::size_t i = cpu.id(); i < 512; i += cpu.nprocs()) {
+      arr.put(cpu, i, 1.0);
+    }
+    cpu.barrier(0);
+  });
+  const auto& kinds = m.report().nic.per_kind;
+  EXPECT_EQ(kinds[static_cast<std::size_t>(mesh::MsgKind::kWriteThrough)], 0u);
+  EXPECT_EQ(kinds[static_cast<std::size_t>(mesh::MsgKind::kWriteReq)], 0u);
+  EXPECT_EQ(kinds[static_cast<std::size_t>(mesh::MsgKind::kWriteNotice)], 0u);
+}
+
+TEST_F(ErcFixture, SilentCleanEvictionLeavesStaleSharer) {
+  const std::uint32_t sets = m.params().cache_bytes / m.params().line_bytes;
+  const std::size_t stride_elems =
+      static_cast<std::size_t>(sets) * m.params().line_bytes / sizeof(double);
+  auto big = m.alloc<double>(stride_elems * 2 + 16, "big");
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() != 0) return;
+    (void)big.get(cpu, 0);              // read-only copy
+    (void)big.get(cpu, stride_elems);   // conflict-evicts it, silently
+  });
+  auto* e = dir().find(m.amap().line_of(big.addr(0)));
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->is_sharer(0));  // directory was never told
+  EXPECT_EQ(m.cpu(0).dcache().find(m.amap().line_of(big.addr(0))), nullptr);
+}
+
+}  // namespace
+}  // namespace lrc::core

@@ -1,0 +1,168 @@
+// Directed scenario tests for the lazier variant: write notices are
+// buffered locally and sent at release (or eviction) time.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "proto/lrc.hpp"
+
+namespace lrc::core {
+namespace {
+
+constexpr Cycle kGap = 50'000;
+
+struct LrcExtFixture : ::testing::Test {
+  LrcExtFixture() : m(SystemParams::paper_default(8), ProtocolKind::kLRCExt) {
+    arr = m.alloc<double>(1024, "data");
+  }
+  proto::LrcExt& ext() { return dynamic_cast<proto::LrcExt&>(m.protocol()); }
+  proto::Directory& dir() { return ext().directory(); }
+  LineId line_of(std::size_t i) { return m.amap().line_of(arr.addr(i)); }
+  std::uint64_t sent(mesh::MsgKind k) {
+    return m.nic().stats().per_kind[static_cast<std::size_t>(k)];
+  }
+
+  Machine m;
+  SharedArray<double> arr;
+};
+
+TEST_F(LrcExtFixture, UpgradeWriteSendsNothingUntilRelease) {
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() != 0) return;
+    (void)arr.get(cpu, 0);
+    cpu.compute(kGap);
+    arr.put(cpu, 0, 1.0);
+    // Mid-run: the write is buffered locally, nothing announced.
+    EXPECT_EQ(sent(mesh::MsgKind::kWriteReq), 0u);
+    EXPECT_TRUE(ext().delayed(0).count(line_of(0)) > 0);
+    cpu.lock(1);
+    cpu.unlock(1);  // release flushes the delayed notice
+    EXPECT_EQ(sent(mesh::MsgKind::kWriteReq), 1u);
+    EXPECT_TRUE(ext().delayed(0).empty());
+  });
+  auto* e = dir().find(line_of(0));
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->is_writer(0));
+}
+
+TEST_F(LrcExtFixture, WriteMissFetchesWithPlainRead) {
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() != 0) return;
+    arr.put(cpu, 512, 1.0);  // miss on an uncached line
+    cpu.compute(kGap);
+    EXPECT_EQ(sent(mesh::MsgKind::kWriteReq), 0u);
+    EXPECT_EQ(sent(mesh::MsgKind::kReadReq), 1u);
+  });
+  // After the program-end drain the write was announced.
+  EXPECT_EQ(sent(mesh::MsgKind::kWriteReq), 1u);
+  auto* e = dir().find(line_of(512));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, proto::DirState::kDirty);
+}
+
+TEST_F(LrcExtFixture, SharersGetNoticesOnlyAtRelease) {
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() == 1) {
+      (void)arr.get(cpu, 0);
+    } else if (cpu.id() == 0) {
+      cpu.compute(kGap);
+      (void)arr.get(cpu, 0);
+      arr.put(cpu, 0, 1.0);
+      cpu.compute(kGap);
+      // Still no notice to the reader...
+      EXPECT_EQ(sent(mesh::MsgKind::kWriteNotice), 0u);
+      cpu.lock(1);
+      cpu.unlock(1);
+      cpu.compute(kGap);
+      // ...but the release pushed it out.
+      EXPECT_EQ(sent(mesh::MsgKind::kWriteNotice), 1u);
+    }
+  });
+  auto* e = dir().find(line_of(0));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, proto::DirState::kWeak);
+}
+
+TEST_F(LrcExtFixture, EvictionFlushesDelayedWrite) {
+  const std::uint32_t sets = m.params().cache_bytes / m.params().line_bytes;
+  const std::size_t stride_elems =
+      static_cast<std::size_t>(sets) * m.params().line_bytes / sizeof(double);
+  auto big = m.alloc<double>(stride_elems * 2 + 16, "big");
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() != 0) return;
+    (void)big.get(cpu, 0);
+    arr.put(cpu, 0, 0.0);  // noise in another set (keep line 0 resident)
+    big.put(cpu, 0, 1.0);  // delayed write
+    EXPECT_EQ(sent(mesh::MsgKind::kWriteReq), 0u);
+    (void)big.get(cpu, stride_elems);  // evicts the delayed-written line
+    cpu.compute(kGap);
+    EXPECT_GE(sent(mesh::MsgKind::kWriteReq), 1u);
+    EXPECT_TRUE(ext().delayed(0).count(m.amap().line_of(big.addr(0))) == 0);
+  });
+}
+
+TEST_F(LrcExtFixture, ReleaseIsMoreExpensiveThanBaseLrc) {
+  // The paper's central negative result in miniature: with a sharer to
+  // notify, the lazier protocol pays the full notice round trip inside the
+  // release, while base LRC overlapped it with computation.
+  auto measure = [](ProtocolKind kind) {
+    Machine m(SystemParams::paper_default(8), kind);
+    auto arr = m.alloc<double>(1024, "data");
+    Cycle unlock_elapsed = 0;
+    m.run([&](Cpu& cpu) {
+      if (cpu.id() == 1) {
+        (void)arr.get(cpu, 0);
+      } else if (cpu.id() == 0) {
+        cpu.compute(kGap);
+        (void)arr.get(cpu, 0);
+        cpu.lock(1);
+        arr.put(cpu, 0, 1.0);
+        cpu.compute(2000);  // base LRC hides the notice behind this
+        const Cycle before = cpu.now();
+        cpu.unlock(1);
+        unlock_elapsed = cpu.now() - before;
+      }
+    });
+    return unlock_elapsed;
+  };
+  EXPECT_GT(measure(ProtocolKind::kLRCExt), measure(ProtocolKind::kLRC));
+}
+
+TEST_F(LrcExtFixture, AcquireInvalidationFlushesDelayedWritesFirst) {
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() == 0) {
+      (void)arr.get(cpu, 0);
+      arr.put(cpu, 0, 1.0);  // delayed
+      cpu.compute(2 * kGap);
+      cpu.lock(1);  // by now a notice for line 0 is pending (from cpu 1)
+      cpu.unlock(1);
+      cpu.compute(kGap);
+    } else if (cpu.id() == 1) {
+      cpu.compute(kGap);
+      (void)arr.get(cpu, 0);
+      arr.put(cpu, 1, 2.0);   // second writer; announces at its release
+      cpu.lock(2);
+      cpu.unlock(2);
+    }
+  });
+  // Everything consistent at the end: no delayed writes left anywhere.
+  EXPECT_TRUE(ext().delayed(0).empty());
+  EXPECT_TRUE(ext().delayed(1).empty());
+}
+
+TEST_F(LrcExtFixture, RepeatWritesToAnnouncedLineDoNotReannounce) {
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() != 0) return;
+    (void)arr.get(cpu, 0);
+    arr.put(cpu, 0, 1.0);
+    cpu.lock(1);
+    cpu.unlock(1);  // announce
+    const auto before = sent(mesh::MsgKind::kWriteReq);
+    arr.put(cpu, 1, 2.0);  // same line, still registered as writer
+    cpu.lock(1);
+    cpu.unlock(1);
+    EXPECT_EQ(sent(mesh::MsgKind::kWriteReq), before);
+  });
+}
+
+}  // namespace
+}  // namespace lrc::core

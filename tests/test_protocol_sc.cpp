@@ -1,0 +1,168 @@
+// Directed scenario tests for the sequentially-consistent MSI baseline.
+// Multi-processor orderings are forced with large compute() staggers.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "proto/msi.hpp"
+
+namespace lrc::core {
+namespace {
+
+constexpr Cycle kGap = 50'000;  // far larger than any single transaction
+
+struct ScFixture : ::testing::Test {
+  ScFixture() : m(SystemParams::paper_default(8), ProtocolKind::kSC) {
+    arr = m.alloc<double>(1024, "data");
+  }
+  proto::Directory& dir() {
+    return dynamic_cast<proto::ProtocolBase&>(m.protocol()).directory();
+  }
+  LineId line_of(std::size_t i) { return m.amap().line_of(arr.addr(i)); }
+
+  Machine m;
+  SharedArray<double> arr;
+};
+
+TEST_F(ScFixture, ReadMissMakesLineShared) {
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() == 0) (void)arr.get(cpu, 0);
+  });
+  auto* e = dir().find(line_of(0));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, proto::DirState::kShared);
+  EXPECT_TRUE(e->is_sharer(0));
+  EXPECT_EQ(e->sharer_count(), 1u);
+}
+
+TEST_F(ScFixture, MultipleReadersAllBecomeSharers) {
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() < 4) (void)arr.get(cpu, 0);
+  });
+  auto* e = dir().find(line_of(0));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, proto::DirState::kShared);
+  EXPECT_EQ(e->sharer_count(), 4u);
+}
+
+TEST_F(ScFixture, WriteMakesLineDirtyAndInvalidatesReaders) {
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() == 1) {
+      (void)arr.get(cpu, 0);
+    } else if (cpu.id() == 0) {
+      cpu.compute(kGap);
+      arr.put(cpu, 0, 1.0);
+    }
+  });
+  auto* e = dir().find(line_of(0));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, proto::DirState::kDirty);
+  EXPECT_EQ(e->owner(), 0u);
+  // The reader's copy is gone — eager invalidation.
+  EXPECT_EQ(m.cpu(1).dcache().find(line_of(0)), nullptr);
+  EXPECT_EQ(m.cpu(1).dcache().stats().invalidations, 1u);
+  EXPECT_GE(m.report().nic.per_kind[static_cast<std::size_t>(
+                mesh::MsgKind::kInval)],
+            1u);
+}
+
+TEST_F(ScFixture, DirtyReadUsesThreeHopForwarding) {
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() == 0) {
+      arr.put(cpu, 0, 1.0);
+    } else if (cpu.id() == 1) {
+      cpu.compute(kGap);
+      EXPECT_DOUBLE_EQ(arr.get(cpu, 0), 1.0);
+    }
+  });
+  const auto& kinds = m.report().nic.per_kind;
+  EXPECT_EQ(kinds[static_cast<std::size_t>(mesh::MsgKind::kFwdReadReq)], 1u);
+  EXPECT_EQ(kinds[static_cast<std::size_t>(mesh::MsgKind::kFwdDataReply)], 1u);
+  EXPECT_EQ(kinds[static_cast<std::size_t>(mesh::MsgKind::kSharingWriteback)],
+            1u);
+  // Afterwards: owner demoted, both share.
+  auto* e = dir().find(line_of(0));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, proto::DirState::kShared);
+  EXPECT_TRUE(e->is_sharer(0));
+  EXPECT_TRUE(e->is_sharer(1));
+  auto* cl = m.cpu(0).dcache().find(line_of(0));
+  ASSERT_NE(cl, nullptr);
+  EXPECT_EQ(cl->state, cache::LineState::kReadOnly);
+}
+
+TEST_F(ScFixture, DirtyWriteTransfersOwnership) {
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() == 0) {
+      arr.put(cpu, 0, 1.0);
+    } else if (cpu.id() == 1) {
+      cpu.compute(kGap);
+      arr.put(cpu, 1, 2.0);  // same line
+    }
+  });
+  auto* e = dir().find(line_of(0));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, proto::DirState::kDirty);
+  EXPECT_EQ(e->owner(), 1u);
+  EXPECT_EQ(m.cpu(0).dcache().find(line_of(0)), nullptr);
+  const auto& kinds = m.report().nic.per_kind;
+  EXPECT_EQ(kinds[static_cast<std::size_t>(mesh::MsgKind::kFwdReadExReq)], 1u);
+}
+
+TEST_F(ScFixture, UpgradeFromReadOnlyAvoidsDataTransfer) {
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() == 0) {
+      (void)arr.get(cpu, 0);
+      cpu.compute(kGap);
+      arr.put(cpu, 0, 3.0);
+    }
+  });
+  const auto& kinds = m.report().nic.per_kind;
+  EXPECT_EQ(kinds[static_cast<std::size_t>(mesh::MsgKind::kUpgradeReq)], 1u);
+  EXPECT_EQ(kinds[static_cast<std::size_t>(mesh::MsgKind::kUpgradeAck)], 1u);
+  EXPECT_EQ(m.report().cache.upgrade_misses, 1u);
+}
+
+TEST_F(ScFixture, DirtyEvictionWritesBack) {
+  // Write a line, then walk addresses that map to the same cache set.
+  const std::uint32_t sets =
+      m.params().cache_bytes / m.params().line_bytes;
+  const std::size_t stride_elems =
+      static_cast<std::size_t>(sets) * m.params().line_bytes / sizeof(double);
+  auto big = m.alloc<double>(stride_elems * 2 + 16, "big");
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() != 0) return;
+    big.put(cpu, 0, 1.0);                 // dirty line in set 0
+    (void)big.get(cpu, stride_elems);     // conflicting line, evicts it
+  });
+  const auto& kinds = m.report().nic.per_kind;
+  EXPECT_EQ(kinds[static_cast<std::size_t>(mesh::MsgKind::kWritebackData)],
+            1u);
+  auto* e = dir().find(m.amap().line_of(big.addr(0)));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, proto::DirState::kUncached);
+}
+
+TEST_F(ScFixture, WritesStallTheProcessor) {
+  // Under SC a remote write miss costs a full round trip, visible as write
+  // stall time.
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() == 0) arr.put(cpu, 512, 1.0);
+  });
+  EXPECT_GT(m.cpu(0).breakdown()[stats::StallKind::kWrite], 100u);
+}
+
+TEST_F(ScFixture, NoWeakStateEverAppears) {
+  m.run([&](Cpu& cpu) {
+    for (std::size_t i = cpu.id(); i < 256; i += cpu.nprocs()) {
+      arr.put(cpu, i, 1.0);
+    }
+    cpu.barrier(0);
+    for (std::size_t i = 0; i < 256; ++i) (void)arr.get(cpu, i);
+  });
+  dir().for_each([](LineId, proto::DirEntry& e) {
+    EXPECT_NE(e.state, proto::DirState::kWeak);
+  });
+}
+
+}  // namespace
+}  // namespace lrc::core

@@ -1,0 +1,181 @@
+// Stress and corner-configuration tests: degenerate cache geometries,
+// extreme contention, single-processor machines, quantum extremes.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+
+namespace lrc::core {
+namespace {
+
+constexpr ProtocolKind kAll[] = {ProtocolKind::kSC, ProtocolKind::kERC,
+                                 ProtocolKind::kLRC, ProtocolKind::kLRCExt};
+
+TEST(Stress, SingleSetCacheThrashes) {
+  // One-set cache: every distinct line conflicts. The protocols must keep
+  // making progress through continuous eviction traffic.
+  for (auto kind : kAll) {
+    auto params = SystemParams::paper_default(4);
+    params.cache_bytes = 128;  // == one line
+    Machine m(params, kind);
+    auto arr = m.alloc<double>(256, "a");
+    m.run([&](Cpu& cpu) {
+      for (int round = 0; round < 3; ++round) {
+        for (std::size_t i = cpu.id(); i < arr.size(); i += cpu.nprocs()) {
+          arr.put(cpu, i, static_cast<double>(round));
+        }
+        cpu.barrier(0);
+      }
+    });
+    for (std::size_t i = 0; i < 256; ++i) {
+      EXPECT_DOUBLE_EQ(m.peek<double>(arr.addr(i)), 2.0)
+          << to_string(kind) << " i=" << i;
+    }
+  }
+}
+
+TEST(Stress, SingleProcessorMachine) {
+  for (auto kind : kAll) {
+    Machine m(SystemParams::paper_default(1), kind);
+    auto arr = m.alloc<double>(1024, "a");
+    m.run([&](Cpu& cpu) {
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        arr.put(cpu, i, static_cast<double>(i));
+      }
+      cpu.lock(0);
+      cpu.unlock(0);
+      cpu.barrier(1);
+      double sum = 0;
+      for (std::size_t i = 0; i < arr.size(); ++i) sum += arr.get(cpu, i);
+      arr.put(cpu, 0, sum);
+    });
+    EXPECT_DOUBLE_EQ(m.peek<double>(arr.addr(0)),
+                     1023.0 * 1024.0 / 2.0) << to_string(kind);
+  }
+}
+
+TEST(Stress, TwoProcessorPingPong) {
+  // The tightest possible migratory pattern: a single line bouncing
+  // between two processors through a lock.
+  for (auto kind : kAll) {
+    Machine m(SystemParams::paper_default(2), kind);
+    auto x = m.alloc<std::int64_t>(1, "x");
+    m.run([&](Cpu& cpu) {
+      for (int i = 0; i < 50; ++i) {
+        cpu.lock(0);
+        x.put(cpu, 0, x.get(cpu, 0) + 1);
+        cpu.unlock(0);
+      }
+    });
+    EXPECT_EQ(m.peek<std::int64_t>(x.addr(0)), 100) << to_string(kind);
+  }
+}
+
+TEST(Stress, SixtyFourWayLockConvoy) {
+  // All 64 processors serialize through one lock once.
+  for (auto kind : {ProtocolKind::kERC, ProtocolKind::kLRC}) {
+    Machine m(SystemParams::paper_default(64), kind);
+    auto x = m.alloc<std::int64_t>(1, "x");
+    m.run([&](Cpu& cpu) {
+      cpu.lock(0);
+      x.put(cpu, 0, x.get(cpu, 0) + 1);
+      cpu.unlock(0);
+    });
+    EXPECT_EQ(m.peek<std::int64_t>(x.addr(0)), 64) << to_string(kind);
+    EXPECT_EQ(m.lock_acquires, 64u);
+  }
+}
+
+TEST(Stress, ManyBarrierEpisodes) {
+  for (auto kind : kAll) {
+    Machine m(SystemParams::test_scale(8), kind);
+    auto x = m.alloc<std::int32_t>(1, "x");
+    constexpr int kRounds = 40;
+    m.run([&](Cpu& cpu) {
+      for (int r = 0; r < kRounds; ++r) {
+        if (cpu.id() == static_cast<NodeId>(r % 8)) x.put(cpu, 0, r);
+        cpu.barrier(0);
+        EXPECT_EQ(x.get(cpu, 0), r) << to_string(kind);
+        cpu.barrier(0);
+      }
+    });
+    EXPECT_EQ(m.barrier_episodes, 2u * kRounds) << to_string(kind);
+  }
+}
+
+TEST(Stress, WriteBufferSaturation) {
+  // Long bursts of write misses to distinct lines saturate the 4-entry
+  // buffer under the buffered protocols; everything must retire.
+  for (auto kind : {ProtocolKind::kERC, ProtocolKind::kLRC,
+                    ProtocolKind::kLRCExt}) {
+    Machine m(SystemParams::paper_default(2), kind);
+    auto arr = m.alloc<double>(4096, "a");
+    m.run([&](Cpu& cpu) {
+      if (cpu.id() != 0) return;
+      for (std::size_t i = 0; i < 256; ++i) {
+        arr.put(cpu, i * 16, 1.0);  // one write per line
+      }
+    });
+    EXPECT_TRUE(m.cpu(0).wb().empty()) << to_string(kind);
+    EXPECT_TRUE(m.cpu(0).ot().empty()) << to_string(kind);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < 256; ++i) {
+      sum += m.peek<double>(arr.addr(i * 16)) == 1.0 ? 1 : 0;
+    }
+    EXPECT_EQ(sum, 256u) << to_string(kind);
+  }
+}
+
+TEST(Stress, TinyRunaheadQuantum) {
+  auto params = SystemParams::test_scale(4);
+  params.runahead_quantum = 1;  // yield after every single cycle
+  Machine m(params, ProtocolKind::kLRC);
+  auto arr = m.alloc<double>(64, "a");
+  m.run([&](Cpu& cpu) {
+    for (std::size_t i = cpu.id(); i < arr.size(); i += cpu.nprocs()) {
+      arr.put(cpu, i, 5.0);
+    }
+    cpu.barrier(0);
+  });
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(m.peek<double>(arr.addr(i)), 5.0);
+  }
+}
+
+TEST(Stress, OddProcessorCounts) {
+  // Non-power-of-two machines exercise the rectangular-mesh fallback and
+  // the home-distribution arithmetic.
+  for (unsigned procs : {3u, 5u, 7u, 12u, 23u, 48u}) {
+    Machine m(SystemParams::test_scale(procs), ProtocolKind::kLRC);
+    auto arr = m.alloc<double>(procs * 8, "a");
+    m.run([&](Cpu& cpu) {
+      arr.put(cpu, cpu.id() * 8, 1.0 + cpu.id());
+      cpu.barrier(0);
+      double sum = 0;
+      for (unsigned p = 0; p < cpu.nprocs(); ++p) sum += arr.get(cpu, p * 8);
+      if (cpu.id() == 0) arr.put(cpu, 1, sum);
+    });
+    const double expected =
+        procs * (procs + 1) / 2.0;  // sum of 1..procs
+    EXPECT_DOUBLE_EQ(m.peek<double>(arr.addr(1)), expected) << procs;
+  }
+}
+
+TEST(Stress, LargeLineSmallCache) {
+  // Future-machine lines (256 B) in a 2-line cache.
+  auto params = SystemParams::future_machine(4);
+  params.cache_bytes = 512;
+  Machine m(params, ProtocolKind::kLRC);
+  auto arr = m.alloc<double>(512, "a");
+  m.run([&](Cpu& cpu) {
+    for (std::size_t i = cpu.id(); i < arr.size(); i += cpu.nprocs()) {
+      arr.put(cpu, i, 3.0);
+    }
+    cpu.barrier(0);
+  });
+  for (std::size_t i = 0; i < 512; ++i) {
+    EXPECT_DOUBLE_EQ(m.peek<double>(arr.addr(i)), 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace lrc::core

@@ -1,0 +1,118 @@
+// Synchronization service behaviour through real Machine runs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/machine.hpp"
+#include "proto/sync_manager.hpp"
+
+namespace lrc::core {
+namespace {
+
+TEST(Sync, LockProvidesMutualExclusion) {
+  Machine m(SystemParams::test_scale(8), ProtocolKind::kLRC);
+  auto counter = m.alloc<std::int64_t>(1, "c");
+  constexpr int kIters = 20;
+  m.run([&](Cpu& cpu) {
+    for (int i = 0; i < kIters; ++i) {
+      cpu.lock(7);
+      counter.put(cpu, 0, counter.get(cpu, 0) + 1);
+      cpu.unlock(7);
+    }
+  });
+  // Lock-protected increments never get lost, under any protocol.
+  EXPECT_EQ(m.peek<std::int64_t>(counter.addr(0)),
+            static_cast<std::int64_t>(8 * kIters));
+  EXPECT_EQ(m.lock_acquires, 8u * kIters);
+}
+
+TEST(Sync, LocksAreGrantedFifo) {
+  Machine m(SystemParams::test_scale(4), ProtocolKind::kSC);
+  auto order = m.alloc<std::int32_t>(8, "order");
+  auto next = m.alloc<std::int32_t>(1, "next");
+  m.run([&](Cpu& cpu) {
+    // Stagger the requests so the queue order is deterministic.
+    cpu.compute(1 + 500 * cpu.id());
+    cpu.lock(3);
+    const std::int32_t slot = next.get(cpu, 0);
+    next.put(cpu, 0, slot + 1);
+    order.put(cpu, slot, static_cast<std::int32_t>(cpu.id()));
+    cpu.unlock(3);
+  });
+  for (std::int32_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(m.peek<std::int32_t>(order.addr(p)), p);
+  }
+}
+
+TEST(Sync, BarrierGathersEveryone) {
+  Machine m(SystemParams::test_scale(8), ProtocolKind::kERC);
+  auto flags = m.alloc<std::int32_t>(8, "flags");
+  auto sums = m.alloc<std::int32_t>(8, "sums");
+  m.run([&](Cpu& cpu) {
+    cpu.compute(cpu.id() * 997);  // very uneven arrival times
+    flags.put(cpu, cpu.id(), 1);
+    cpu.barrier(0);
+    std::int32_t s = 0;
+    for (unsigned p = 0; p < cpu.nprocs(); ++p) s += flags.get(cpu, p);
+    sums.put(cpu, cpu.id(), s);
+  });
+  for (unsigned p = 0; p < 8; ++p) {
+    EXPECT_EQ(m.peek<std::int32_t>(sums.addr(p)), 8);
+  }
+  EXPECT_EQ(m.barrier_episodes, 1u);
+}
+
+TEST(Sync, BarrierIsReusable) {
+  Machine m(SystemParams::test_scale(4), ProtocolKind::kLRC);
+  constexpr int kRounds = 5;
+  auto data = m.alloc<std::int32_t>(1, "x");
+  m.run([&](Cpu& cpu) {
+    for (int r = 0; r < kRounds; ++r) {
+      if (cpu.id() == 0) data.put(cpu, 0, r + 1);
+      cpu.barrier(0);
+      EXPECT_EQ(data.get(cpu, 0), r + 1);
+      cpu.barrier(0);
+    }
+  });
+  EXPECT_EQ(m.barrier_episodes, 2u * kRounds);
+}
+
+TEST(Sync, DistinctLocksDoNotInterfere) {
+  Machine m(SystemParams::test_scale(4), ProtocolKind::kERC);
+  auto counters = m.alloc<std::int64_t>(4, "c");
+  m.run([&](Cpu& cpu) {
+    const SyncId lk = cpu.id();  // each processor its own lock
+    for (int i = 0; i < 10; ++i) {
+      cpu.lock(100 + lk);
+      counters.put(cpu, cpu.id(), counters.get(cpu, cpu.id()) + 1);
+      cpu.unlock(100 + lk);
+    }
+  });
+  for (unsigned p = 0; p < 4; ++p) {
+    EXPECT_EQ(m.peek<std::int64_t>(counters.addr(p)), 10);
+  }
+}
+
+TEST(Sync, LockStateVisibleToManager) {
+  Machine m(SystemParams::test_scale(2), ProtocolKind::kSC);
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() == 0) {
+      cpu.lock(5);
+      EXPECT_TRUE(m.sync().lock_held(5));
+      cpu.unlock(5);
+    }
+  });
+  EXPECT_FALSE(m.sync().lock_held(5));
+  EXPECT_EQ(m.sync().lock_queue_len(5), 0u);
+}
+
+TEST(Sync, ManyLocksHashAcrossHomes) {
+  Machine m(SystemParams::test_scale(8), ProtocolKind::kSC);
+  // home_of spreads ids across all nodes.
+  std::vector<bool> seen(8, false);
+  for (SyncId s = 0; s < 64; ++s) seen[m.sync().home_of(s)] = true;
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+}  // namespace
+}  // namespace lrc::core

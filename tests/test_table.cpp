@@ -1,0 +1,62 @@
+#include "stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lrc::stats {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"App", "Miss"});
+  t.add_row({"gauss", "2.72%"});
+  t.add_row({"mp3d", "4.81%"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| App"), std::string::npos);
+  EXPECT_NE(s.find("gauss"), std::string::npos);
+  EXPECT_NE(s.find("4.81%"), std::string::npos);
+  // One header + separator + two data rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"A", "B", "C"});
+  t.add_row({"x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("x"), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"Name", "Value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "100"});
+  const std::string s = t.to_string();
+  // Every line has the same length when columns are padded.
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, PercentFormatting) {
+  EXPECT_EQ(Table::pct(0.123), "12.3%");
+  EXPECT_EQ(Table::pct(0.123456, 2), "12.35%");
+  EXPECT_EQ(Table::pct(0.0), "0.0%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, FixedFormatting) {
+  EXPECT_EQ(Table::fixed(1.2345), "1.23");
+  EXPECT_EQ(Table::fixed(1.2345, 3), "1.234");  // round-to-even banker-free
+  EXPECT_EQ(Table::fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Table, CountFormatting) {
+  EXPECT_EQ(Table::count(0), "0");
+  EXPECT_EQ(Table::count(1234567), "1234567");
+}
+
+}  // namespace
+}  // namespace lrc::stats

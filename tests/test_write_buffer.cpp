@@ -1,0 +1,63 @@
+#include "cache/write_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lrc::cache {
+namespace {
+
+TEST(WriteBuffer, PushAllocatesSlots) {
+  WriteBuffer wb(4);
+  EXPECT_TRUE(wb.empty());
+  EXPECT_EQ(wb.push(10, 0x1), 0);
+  EXPECT_EQ(wb.push(11, 0x2), 1);
+  EXPECT_EQ(wb.occupied(), 2u);
+  EXPECT_FALSE(wb.full());
+}
+
+TEST(WriteBuffer, CoalescesSameLine) {
+  WriteBuffer wb(4);
+  const int s = wb.push(10, 0x1);
+  EXPECT_EQ(wb.push(10, 0x4), s);
+  EXPECT_EQ(wb.slot(s).words, 0x5u);
+  EXPECT_EQ(wb.occupied(), 1u);
+  EXPECT_EQ(wb.stats().coalesced, 1u);
+  EXPECT_EQ(wb.stats().enqueued, 1u);
+}
+
+TEST(WriteBuffer, FullBufferRejects) {
+  WriteBuffer wb(4);
+  for (LineId l = 0; l < 4; ++l) EXPECT_GE(wb.push(l, 1), 0);
+  EXPECT_TRUE(wb.full());
+  EXPECT_EQ(wb.push(99, 1), -1);
+  EXPECT_EQ(wb.stats().full_stalls, 1u);
+  // Coalescing still works when full.
+  EXPECT_GE(wb.push(2, 0x8), 0);
+}
+
+TEST(WriteBuffer, RetireFreesSlot) {
+  WriteBuffer wb(4);
+  const int s = wb.push(10, 0x3);
+  const auto e = wb.retire(s);
+  EXPECT_EQ(e.line, 10u);
+  EXPECT_EQ(e.words, 0x3u);
+  EXPECT_TRUE(wb.empty());
+  EXPECT_EQ(wb.find(10), -1);
+  // Slot is reusable.
+  EXPECT_EQ(wb.push(20, 1), s);
+}
+
+TEST(WriteBuffer, FindLocatesLines) {
+  WriteBuffer wb(4);
+  wb.push(10, 1);
+  wb.push(20, 1);
+  EXPECT_EQ(wb.find(20), 1);
+  EXPECT_EQ(wb.find(30), -1);
+}
+
+TEST(WriteBuffer, PaperConfigurationIsFourEntries) {
+  WriteBuffer wb(4);
+  EXPECT_EQ(wb.capacity(), 4u);
+}
+
+}  // namespace
+}  // namespace lrc::cache
