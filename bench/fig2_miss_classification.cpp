@@ -18,8 +18,11 @@ int main(int argc, char** argv) {
 
   stats::Table table({"Application", "Cold", "True", "False", "Eviction",
                       "Write", "Misses"});
-  for (const auto* app : bench::selected_apps(opt)) {
-    const auto r = bench::run_app(*app, core::ProtocolKind::kERC, opt);
+  const auto apps = bench::selected_apps(opt);
+  const auto results = bench::run_matrix(opt, {core::ProtocolKind::kERC});
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const auto* app = apps[i];
+    const auto& r = results[i][0];
     const auto& mc = r.report.miss_classes;
     const double total = static_cast<double>(mc.total());
     auto pct = [&](stats::MissClass c) {
@@ -31,7 +34,6 @@ int main(int argc, char** argv) {
                    pct(stats::MissClass::kEviction),
                    pct(stats::MissClass::kWrite),
                    stats::Table::count(mc.total())});
-    std::fflush(stdout);
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(

@@ -15,15 +15,18 @@ int main(int argc, char** argv) {
                       "paper Figure 3 (Sec. 4.2 table)");
 
   stats::Table table({"Application", "Eager", "Lazy", "Lazy-ext"});
-  for (const auto* app : bench::selected_apps(opt)) {
-    const auto erc = bench::run_app(*app, core::ProtocolKind::kERC, opt);
-    const auto lrc_r = bench::run_app(*app, core::ProtocolKind::kLRC, opt);
-    const auto ext = bench::run_app(*app, core::ProtocolKind::kLRCExt, opt);
-    table.add_row({std::string(app->name),
+  const auto apps = bench::selected_apps(opt);
+  const auto results = bench::run_matrix(
+      opt, {core::ProtocolKind::kERC, core::ProtocolKind::kLRC,
+            core::ProtocolKind::kLRCExt});
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const auto& erc = results[i][0];
+    const auto& lrc_r = results[i][1];
+    const auto& ext = results[i][2];
+    table.add_row({std::string(apps[i]->name),
                    stats::Table::pct(erc.report.miss_rate(), 2),
                    stats::Table::pct(lrc_r.report.miss_rate(), 2),
                    stats::Table::pct(ext.report.miss_rate(), 2)});
-    std::fflush(stdout);
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(

@@ -18,16 +18,20 @@ int main(int argc, char** argv) {
 
   stats::Table table({"Application", "Protocol", "cpu", "read", "write",
                       "sync", "total"});
-  for (const auto* app : bench::selected_apps(opt)) {
-    const auto sc = bench::run_app(*app, core::ProtocolKind::kSC, opt);
-    const auto erc = bench::run_app(*app, core::ProtocolKind::kERC, opt);
-    const auto lrc_r = bench::run_app(*app, core::ProtocolKind::kLRC, opt);
+  const auto apps = bench::selected_apps(opt);
+  const auto results = bench::run_matrix(
+      opt, {core::ProtocolKind::kSC, core::ProtocolKind::kERC,
+            core::ProtocolKind::kLRC});
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const auto& sc = results[i][0];
+    const auto& erc = results[i][1];
+    const auto& lrc_r = results[i][2];
     const double base = static_cast<double>(sc.report.breakdown.total());
     auto add = [&](const char* proto, const core::Report& r) {
       auto pct = [&](stats::StallKind k) {
         return stats::Table::pct(r.breakdown[k] / base, 1);
       };
-      table.add_row({std::string(app->name), proto,
+      table.add_row({std::string(apps[i]->name), proto,
                      pct(stats::StallKind::kCpu), pct(stats::StallKind::kRead),
                      pct(stats::StallKind::kWrite),
                      pct(stats::StallKind::kSync),
@@ -36,7 +40,6 @@ int main(int argc, char** argv) {
     add("LRC", lrc_r.report);
     add("ERC", erc.report);
     add("SC", sc.report);
-    std::fflush(stdout);
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(

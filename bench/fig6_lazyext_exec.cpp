@@ -17,18 +17,21 @@ int main(int argc, char** argv) {
 
   stats::Table table({"Application", "SC(cycles)", "LRC", "LRC-ext",
                       "ext penalty"});
-  for (const auto* app : bench::selected_apps(opt)) {
-    const auto sc = bench::run_app(*app, core::ProtocolKind::kSC, opt);
-    const auto lrc_r = bench::run_app(*app, core::ProtocolKind::kLRC, opt);
-    const auto ext = bench::run_app(*app, core::ProtocolKind::kLRCExt, opt);
+  const auto apps = bench::selected_apps(opt);
+  const auto results = bench::run_matrix(
+      opt, {core::ProtocolKind::kSC, core::ProtocolKind::kLRC,
+            core::ProtocolKind::kLRCExt});
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const auto& sc = results[i][0];
+    const auto& lrc_r = results[i][1];
+    const auto& ext = results[i][2];
     const double base = static_cast<double>(sc.report.execution_time);
     const double l = lrc_r.report.execution_time / base;
     const double x = ext.report.execution_time / base;
-    table.add_row({std::string(app->name),
+    table.add_row({std::string(apps[i]->name),
                    stats::Table::count(sc.report.execution_time),
                    stats::Table::fixed(l, 3), stats::Table::fixed(x, 3),
                    stats::Table::pct((x - l) / l, 1)});
-    std::fflush(stdout);
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(

@@ -1,9 +1,15 @@
 #include "bench/harness.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <iterator>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 namespace lrc::bench {
 
@@ -22,7 +28,9 @@ namespace {
       "  --seed N         workload generator seed (default 1)\n"
       "  --cache-kb N     override cache size\n"
       "  --line N         override cache line size (bytes)\n"
-      "  --no-validate    skip result validation\n",
+      "  --no-validate    skip result validation\n"
+      "  --jobs N         experiment worker threads (default: all host\n"
+      "                   cores; results are identical for any N)\n",
       prog);
   std::exit(2);
 }
@@ -82,6 +90,9 @@ Options Options::parse(int argc, char** argv) {
       opt.line_bytes = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--no-validate") {
       opt.validate = false;
+    } else if (arg == "--jobs") {
+      opt.jobs = static_cast<unsigned>(std::stoul(next()));
+      if (opt.jobs == 0) usage(argv[0]);
     } else {
       usage(argv[0]);
     }
@@ -156,6 +167,75 @@ RunResult run_app(const apps::AppInfo& info, core::ProtocolKind kind,
                  r.app.detail.c_str());
   }
   return r;
+}
+
+unsigned effective_jobs(const Options& opt) {
+  if (opt.jobs != 0) return opt.jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+std::vector<RunResult> run_experiments(const std::vector<Experiment>& exps,
+                                       const Options& opt) {
+  std::vector<RunResult> results(exps.size());
+  const std::size_t jobs =
+      std::min<std::size_t>(effective_jobs(opt), exps.size());
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < exps.size(); ++i) {
+      results[i] = run_app(*exps[i].app, exps[i].kind, opt);
+    }
+    return results;
+  }
+
+  // Each experiment runs on a fresh Machine with the same seed derivation
+  // as the serial path, so this only changes wall-clock time, never
+  // results. Workers pull the next unclaimed index; results land at their
+  // input position.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= exps.size() || failed.load(std::memory_order_relaxed)) return;
+      try {
+        results[i] = run_app(*exps[i].app, exps[i].kind, opt);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (std::size_t j = 0; j < jobs; ++j) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+std::vector<std::vector<RunResult>> run_matrix(
+    const Options& opt, const std::vector<core::ProtocolKind>& kinds) {
+  const auto apps = selected_apps(opt);
+  std::vector<Experiment> exps;
+  exps.reserve(apps.size() * kinds.size());
+  for (const auto* app : apps) {
+    for (const auto kind : kinds) exps.push_back(Experiment{app, kind});
+  }
+  auto flat = run_experiments(exps, opt);
+  std::vector<std::vector<RunResult>> out(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    out[i].assign(std::make_move_iterator(flat.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              i * kinds.size())),
+                  std::make_move_iterator(flat.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              (i + 1) * kinds.size())));
+  }
+  return out;
 }
 
 void print_header(const Options& opt, const std::string& title,

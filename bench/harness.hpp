@@ -27,11 +27,15 @@ struct Options {
   std::uint32_t cache_bytes = 0;  // 0 = scale default
   std::uint32_t line_bytes = 0;   // 0 = machine default
   bool validate = true;
+  unsigned jobs = 0;              // worker threads; 0 = hardware_concurrency
 
   /// Parses --procs/--scale/--quick/--apps/--seed/--cache-kb/--line/
-  /// --no-validate; exits with usage on error.
+  /// --no-validate/--jobs; exits with usage on error.
   static Options parse(int argc, char** argv);
 };
+
+/// Worker-thread count the options imply (>= 1; resolves jobs == 0).
+unsigned effective_jobs(const Options& opt);
 
 /// System parameters implied by the options (Table 1 or future machine,
 /// with scale-appropriate cache size).
@@ -45,6 +49,25 @@ struct RunResult {
 /// Runs one application under one protocol on a fresh machine.
 RunResult run_app(const apps::AppInfo& info, core::ProtocolKind kind,
                   const Options& opt);
+
+/// One cell of an experiment sweep: an application under a protocol.
+struct Experiment {
+  const apps::AppInfo* app = nullptr;
+  core::ProtocolKind kind{};
+};
+
+/// Runs independent experiments on a pool of effective_jobs(opt) worker
+/// threads (each on a fresh Machine — simulations share no mutable state).
+/// Results come back in input order, and every run uses the same
+/// deterministic seed derivation as run_app, so the reports are
+/// bit-identical to a serial --jobs 1 sweep.
+std::vector<RunResult> run_experiments(const std::vector<Experiment>& exps,
+                                       const Options& opt);
+
+/// Runs the full selected-apps × kinds matrix in parallel;
+/// result[i][j] pairs selected_apps(opt)[i] with kinds[j].
+std::vector<std::vector<RunResult>> run_matrix(
+    const Options& opt, const std::vector<core::ProtocolKind>& kinds);
 
 /// The applications selected by the options, in paper order.
 std::vector<const apps::AppInfo*> selected_apps(const Options& opt);

@@ -41,11 +41,8 @@ void Cpu::quantum_yield() {
   // Re-enter the engine so messages timestamped before our run-ahead horizon
   // get processed; we resume at our own local time.
   resume_scheduled_ = true;
-  m_.engine().schedule(now_, [this](Cycle t) {
-    resume_scheduled_ = false;
-    now_ = std::max(now_, t);
-    fiber_->resume();
-  });
+  resume_mode_ = ResumeMode::kQuantum;
+  m_.engine().schedule_external(now_, resume_event_);
   sim::Fiber::yield();
 }
 
@@ -61,21 +58,37 @@ void Cpu::block(stats::StallKind k) {
 void Cpu::poke(Cycle t) {
   if (!blocked_ || resume_scheduled_) return;
   resume_scheduled_ = true;
-  m_.engine().schedule(std::max(t, now_), [this](Cycle tt) {
-    resume_scheduled_ = false;
-    if (!blocked_) return;
-    blocked_ = false;
-    bd_[block_kind_] += tt - block_start_;
-    stall_hist_[static_cast<std::size_t>(block_kind_)].add(tt - block_start_);
-    now_ = std::max(now_, tt);
-    fiber_->resume();
-  });
+  resume_mode_ = ResumeMode::kPoke;
+  m_.engine().schedule_external(std::max(t, now_), resume_event_);
+}
+
+void Cpu::on_resume(Cycle t) {
+  switch (resume_mode_) {
+    case ResumeMode::kStart:
+      fiber_->resume();
+      return;
+    case ResumeMode::kQuantum:
+      resume_scheduled_ = false;
+      now_ = std::max(now_, t);
+      fiber_->resume();
+      return;
+    case ResumeMode::kPoke:
+      resume_scheduled_ = false;
+      if (!blocked_) return;
+      blocked_ = false;
+      bd_[block_kind_] += t - block_start_;
+      stall_hist_[static_cast<std::size_t>(block_kind_)].add(t - block_start_);
+      now_ = std::max(now_, t);
+      fiber_->resume();
+      return;
+  }
 }
 
 void Cpu::start(std::function<void(Cpu&)> body) {
   body_ = std::move(body);
   fiber_ = std::make_unique<sim::Fiber>([this] { run_body(); });
-  m_.engine().schedule(0, [this](Cycle) { fiber_->resume(); });
+  resume_mode_ = ResumeMode::kStart;
+  m_.engine().schedule_external(0, resume_event_);
 }
 
 void Cpu::run_body() {

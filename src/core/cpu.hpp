@@ -15,6 +15,7 @@
 #include "cache/coalescing_buffer.hpp"
 #include "cache/ot_table.hpp"
 #include "cache/write_buffer.hpp"
+#include "sim/event.hpp"
 #include "sim/fiber.hpp"
 #include "sim/types.hpp"
 #include "stats/counters.hpp"
@@ -99,8 +100,22 @@ class Cpu {
  private:
   friend class Machine;
 
+  // The engine wakes a Cpu through this caller-owned reusable event: one
+  // per processor, zero allocation, never more than one pending (the
+  // resume_scheduled_ guard and the start/block protocol ensure that).
+  class ResumeEvent final : public sim::Event {
+   public:
+    explicit ResumeEvent(Cpu& cpu) : cpu_(cpu) {}
+    void fire(Cycle t) override { cpu_.on_resume(t); }
+
+   private:
+    Cpu& cpu_;
+  };
+  enum class ResumeMode : std::uint8_t { kStart, kQuantum, kPoke };
+
   void run_body();
   void quantum_yield();
+  void on_resume(Cycle t);
 
   Machine& m_;
   NodeId id_;
@@ -114,6 +129,8 @@ class Cpu {
 
   std::unique_ptr<sim::Fiber> fiber_;
   std::function<void(Cpu&)> body_;
+  ResumeEvent resume_event_{*this};
+  ResumeMode resume_mode_ = ResumeMode::kStart;
   bool blocked_ = false;
   bool resume_scheduled_ = false;
   stats::StallKind block_kind_ = stats::StallKind::kCpu;

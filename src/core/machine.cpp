@@ -35,8 +35,44 @@ Addr Machine::alloc_bytes(std::size_t bytes, std::string name) {
   return store_.allocate(bytes, params_.line_bytes, std::move(name));
 }
 
+namespace {
+
+// Pooled typed events for the machine's deferred work. Defined here so
+// Engine::schedule_make sees complete types.
+class RedeliverEvent final : public sim::Event {
+ public:
+  RedeliverEvent(Machine& m, const mesh::Message& msg) : m_(m), msg_(msg) {}
+  void fire(Cycle t) override { m_.dispatch_deferred(msg_, t); }
+
+ private:
+  Machine& m_;
+  mesh::Message msg_;
+};
+
+class PokeEvent final : public sim::Event {
+ public:
+  PokeEvent(Machine& m, NodeId p) : m_(m), p_(p) {}
+  void fire(Cycle t) override { m_.cpu(p_).poke(t); }
+
+ private:
+  Machine& m_;
+  NodeId p_;
+};
+
+static_assert(sizeof(RedeliverEvent) <= sim::Engine::kMaxPooledBytes);
+
+}  // namespace
+
 void Machine::redeliver(const mesh::Message& msg, Cycle t) {
-  engine_.schedule(t, [this, msg](Cycle tt) { dispatch(msg, tt); });
+  engine_.schedule_make<RedeliverEvent>(t, *this, msg);
+}
+
+void Machine::schedule_poke(NodeId p, Cycle t) {
+  engine_.schedule_make<PokeEvent>(t, *this, p);
+}
+
+void Machine::dispatch_deferred(const mesh::Message& msg, Cycle t) {
+  dispatch(msg, t);
 }
 
 Cycle Machine::pp_claim(NodeId n, Cycle at, Cycle cost) {
@@ -91,6 +127,8 @@ Report Machine::report() const {
   r.lock_acquires = lock_acquires;
   r.barrier_episodes = barrier_episodes;
   r.sync = sync_->stats();
+  r.sched_past_violations = engine_.past_violations();
+  r.events_executed = engine_.events_executed();
   for (const auto& c : cpus_) {
     r.execution_time = std::max(r.execution_time, c->now());
     r.per_cpu.push_back(c->breakdown());

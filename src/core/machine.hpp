@@ -121,6 +121,13 @@ class Machine {
   /// MSI protocols to replay requests queued behind a busy directory entry).
   void redeliver(const mesh::Message& msg, Cycle t);
 
+  /// Schedules a wake-up for processor `p` at time `t` (typed pooled event;
+  /// used by protocols that finish work asynchronously, e.g. LRC's fence).
+  void schedule_poke(NodeId p, Cycle t);
+
+  /// Event-side entry into dispatch (RedeliverEvent's target).
+  void dispatch_deferred(const mesh::Message& msg, Cycle t);
+
   /// Protocol-processor occupancy bookkeeping used by message dispatch.
   Cycle pp_free_at(NodeId n) const { return pp_free_[n]; }
   /// Claims the protocol processor at `n` from max(at, free) for `cost`

@@ -46,6 +46,11 @@ std::string Report::summary() const {
      << " payload bytes)\n";
   os << "locks acquired: " << lock_acquires
      << "  barrier episodes: " << barrier_episodes << "\n";
+  os << "engine events: " << events_executed;
+  if (sched_past_violations > 0) {
+    os << "  PAST-TIME SCHEDULES CLAMPED: " << sched_past_violations;
+  }
+  os << "\n";
   return os.str();
 }
 

@@ -42,6 +42,12 @@ struct Report {
   std::uint64_t barrier_episodes = 0;
   proto::SyncStats sync;
 
+  /// Kernel health: events the engine had to clamp because a component
+  /// scheduled them in the past (must be 0; see Engine::past_violations).
+  std::uint64_t sched_past_violations = 0;
+  /// Total events the engine executed for this run.
+  std::uint64_t events_executed = 0;
+
   double miss_rate() const { return cache.miss_rate(); }
 
   /// Pretty multi-line summary for examples and debugging.

@@ -9,17 +9,20 @@ Cycle Dram::access(NodeId node, Cycle when, std::uint32_t bytes,
                    bool is_write) {
   assert(node < free_.size());
   const Cycle start = std::max(when, free_[node]);
-  const Cycle cost = uncontended_cost(bytes);
+  // Nearly every access is a full cache line, so the size→cost division is
+  // memoized on the last size seen (timing identical, just cheaper).
+  if (bytes != cached_bytes_) {
+    cached_bytes_ = bytes;
+    cached_cost_ = uncontended_cost(bytes);
+  }
+  const Cycle cost = cached_cost_;
   free_[node] = start + cost;
 
   stats_.contention += start - when;
   stats_.busy += cost;
   stats_.bytes += bytes;
-  if (is_write) {
-    ++stats_.writes;
-  } else {
-    ++stats_.reads;
-  }
+  stats_.writes += is_write;
+  stats_.reads += !is_write;
   return start + cost;
 }
 

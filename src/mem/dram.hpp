@@ -26,7 +26,7 @@ struct DramStats {
 class Dram {
  public:
   Dram(unsigned nodes, DramParams params)
-      : params_(params), free_(nodes, 0) {}
+      : params_(params), free_(nodes, 0), cached_cost_(params.setup) {}
 
   /// Performs an access of `bytes` at `node` starting no earlier than `when`;
   /// returns the completion time. `is_write` only affects statistics.
@@ -43,6 +43,8 @@ class Dram {
  private:
   DramParams params_;
   std::vector<Cycle> free_;
+  std::uint32_t cached_bytes_ = 0;  // memoized size→cost pair (hot path)
+  Cycle cached_cost_ = 0;
   DramStats stats_;
 };
 

@@ -5,12 +5,54 @@
 
 namespace lrc::mesh {
 
+// Pooled arrival event: messages that finish mesh traversal on one cycle.
+// Capacity is sized so the event still fits the engine's largest pool slot.
+class Nic::Arrival final : public sim::Event {
+ public:
+  static constexpr unsigned kCapacity = 3;
+
+  Arrival(Nic& nic, const Message& msg) : nic_(nic) { msgs_[count_++] = msg; }
+
+  bool add(const Message& msg) {
+    if (count_ == kCapacity) return false;
+    msgs_[count_++] = msg;
+    return true;
+  }
+
+  void fire(Cycle t) override {
+    if (nic_.pending_arrival_ == this) nic_.pending_arrival_ = nullptr;
+    for (unsigned i = 0; i < count_; ++i) nic_.arbitrate_sink(msgs_[i], t);
+  }
+
+ private:
+  Nic& nic_;
+  unsigned count_ = 0;
+  Message msgs_[kCapacity];
+};
+
+// Pooled re-delivery for a message that arrived while the sink endpoint was
+// occupied: fires once the endpoint frees up.
+class Nic::Delivery final : public sim::Event {
+ public:
+  Delivery(Nic& nic, const Message& msg) : nic_(nic), msg_(msg) {}
+
+  void fire(Cycle t) override { nic_.deliver_(msg_, t); }
+
+ private:
+  Nic& nic_;
+  Message msg_;
+};
+
 Nic::Nic(sim::Engine& engine, const Topology& topo, NicParams params)
     : engine_(engine),
       topo_(topo),
       params_(params),
       out_free_(topo.nodes(), 0),
-      in_free_(topo.nodes(), 0) {}
+      in_free_(topo.nodes(), 0) {
+  static_assert(sizeof(Arrival) <= sim::Engine::kMaxPooledBytes,
+                "Arrival must fit a pool slot; shrink kCapacity");
+  static_assert(sizeof(Delivery) <= sim::Engine::kMaxPooledBytes);
+}
 
 Cycle Nic::uncontended_latency(NodeId src, NodeId dst,
                                std::uint32_t payload_bytes) const {
@@ -33,10 +75,7 @@ void Nic::send(Cycle when, Message msg) {
     ++stats_.control_messages;
   }
 
-  // Endpoint occupancy charge: payload for data messages, header otherwise.
-  const std::uint32_t occ_bytes =
-      std::max(msg.payload_bytes, params_.header_bytes);
-  const Cycle occ = ceil_div(occ_bytes, params_.bandwidth);
+  const Cycle occ = occupancy(msg);
 
   // Source endpoint: serialize departures.
   const Cycle depart = std::max(when, out_free_[msg.src]);
@@ -47,21 +86,32 @@ void Nic::send(Cycle when, Message msg) {
   const Cycle arrive = depart + uncontended_latency(msg.src, msg.dst,
                                                     msg.payload_bytes);
 
+  // Batch onto the previous arrival event when (a) it is still pending for
+  // this same cycle and (b) it holds the engine's most recent sequence
+  // number. (b) proves no other event was scheduled in between, so the
+  // batched messages would have fired back to back anyway — execution
+  // order, and therefore timing, is bit-identical to one event per message.
+  if (pending_arrival_ != nullptr && pending_arrival_->pending() &&
+      pending_arrival_->when() == arrive &&
+      engine_.last_seq() == pending_arrival_->seq() &&
+      pending_arrival_->add(msg)) {
+    ++stats_.batched_arrivals;
+    return;
+  }
+  pending_arrival_ = engine_.schedule_make<Arrival>(arrive, *this, msg);
+}
+
+void Nic::arbitrate_sink(const Message& msg, Cycle t) {
   // Sink endpoint: serialize deliveries. The current message is delivered at
   // max(arrival, sink-free); subsequent deliveries wait behind its occupancy.
-  const NodeId dst = msg.dst;
-  engine_.schedule(arrive, [this, msg, occ](Cycle t) {
-    const Cycle deliver_at = std::max(t, in_free_[msg.dst]);
-    stats_.recv_contention += deliver_at - t;
-    in_free_[msg.dst] = deliver_at + occ;
-    if (deliver_at == t) {
-      deliver_(msg, t);
-    } else {
-      engine_.schedule(deliver_at,
-                       [this, msg](Cycle t2) { deliver_(msg, t2); });
-    }
-  });
-  (void)dst;
+  const Cycle deliver_at = std::max(t, in_free_[msg.dst]);
+  stats_.recv_contention += deliver_at - t;
+  in_free_[msg.dst] = deliver_at + occupancy(msg);
+  if (deliver_at == t) {
+    deliver_(msg, t);
+  } else {
+    engine_.schedule_make<Delivery>(deliver_at, *this, msg);
+  }
 }
 
 }  // namespace lrc::mesh

@@ -2,6 +2,10 @@
 // message latency = hops * (switch_latency + wire_latency) + payload/bandwidth,
 // with contention modeled at the sending and receiving endpoints only
 // (never at intermediate switches), exactly as in the paper's back end.
+//
+// Delivery rides the engine's typed-event hot path: each arrival is a
+// pooled intrusive event, and back-to-back sends whose messages cross the
+// receiving endpoint on the same cycle share one event (see Nic::send).
 #pragma once
 
 #include <cstdint>
@@ -28,6 +32,7 @@ struct NicStats {
   std::uint64_t control_messages = 0;
   std::uint64_t data_messages = 0;
   std::uint64_t payload_bytes = 0;
+  std::uint64_t batched_arrivals = 0;  // messages piggybacked on an event
   std::uint64_t per_kind[static_cast<std::size_t>(MsgKind::kCount)] = {};
   Cycle send_contention = 0;  // cycles messages waited at the source NIC
   Cycle recv_contention = 0;  // cycles messages waited at the sink NIC
@@ -56,12 +61,28 @@ class Nic {
   void reset_stats() { stats_ = NicStats{}; }
 
  private:
+  class Arrival;   // pooled event: >=1 messages arriving on one cycle
+  class Delivery;  // pooled event: one message that lost endpoint arbitration
+
+  /// Endpoint occupancy charge: payload for data messages, header otherwise.
+  Cycle occupancy(const Message& msg) const {
+    const std::uint32_t occ_bytes =
+        msg.payload_bytes > params_.header_bytes ? msg.payload_bytes
+                                                 : params_.header_bytes;
+    return ceil_div(occ_bytes, params_.bandwidth);
+  }
+
+  /// Arbitrates the sink endpoint for one arrived message and delivers it
+  /// (immediately, or via a follow-up event if the endpoint is busy).
+  void arbitrate_sink(const Message& msg, Cycle t);
+
   sim::Engine& engine_;
   const Topology& topo_;
   NicParams params_;
   Deliver deliver_;
   std::vector<Cycle> out_free_;  // source-endpoint next-free time
   std::vector<Cycle> in_free_;   // sink-endpoint next-free time
+  Arrival* pending_arrival_ = nullptr;  // batching candidate; see send()
   NicStats stats_;
 };
 

@@ -237,9 +237,7 @@ void Lrc::fence(core::Cpu& cpu) {
   // invalidations to complete (acquire semantics without a lock).
   const Cycle done = apply_invals(cpu.id(), cpu.now());
   if (done > cpu.now()) {
-    m_.engine().schedule(done, [this, p = cpu.id()](Cycle t) {
-      m_.cpu(p).poke(t);
-    });
+    m_.schedule_poke(cpu.id(), done);
     while (cpu.now() < done) cpu.block(stats::StallKind::kSync);
   }
 }

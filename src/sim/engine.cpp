@@ -1,41 +1,216 @@
 #include "sim/engine.hpp"
 
-#include <cassert>
-#include <utility>
+#include <algorithm>
+
+// The freelist recycles raw storage across event types; poison recycled
+// slots under AddressSanitizer so stale-event pointer bugs trap instead of
+// silently reading the next occupant.
+#if defined(__SANITIZE_ADDRESS__)
+#define LRC_ENGINE_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define LRC_ENGINE_ASAN 1
+#endif
+#endif
+
+#ifdef LRC_ENGINE_ASAN
+#include <sanitizer/asan_interface.h>
+#define LRC_POISON(p, n) __asan_poison_memory_region((p), (n))
+#define LRC_UNPOISON(p, n) __asan_unpoison_memory_region((p), (n))
+#else
+#define LRC_POISON(p, n) (void)0
+#define LRC_UNPOISON(p, n) (void)0
+#endif
 
 namespace lrc::sim {
 
-void Engine::schedule(Cycle when, Thunk fn) {
+namespace {
+
+// Min-heap ordering for the overflow queue: the heap "top" is the event
+// with the smallest (when, seq) — the same total order the ring enforces.
+struct OverflowAfter {
+  bool operator()(const Event* a, const Event* b) const {
+    if (a->when() != b->when()) return a->when() > b->when();
+    return a->seq() > b->seq();
+  }
+};
+
+}  // namespace
+
+Engine::~Engine() {
+  // Destroy events still pending (stopped engines, exception unwinds) so
+  // pooled/heap event destructors run exactly once.
+  for (auto& b : ring_) {
+    for (Event* ev = b.head; ev != nullptr;) {
+      Event* next = ev->next_;
+      ev->pending_ = false;
+      release(ev);
+      ev = next;
+    }
+  }
+  for (Event* ev : overflow_) {
+    ev->pending_ = false;
+    release(ev);
+  }
+#ifdef LRC_ENGINE_ASAN
+  for (auto& slab : slabs_) LRC_UNPOISON(slab.mem.get(), slab.bytes);
+#endif
+}
+
+void Engine::enqueue(Event* ev, Cycle when) {
   assert(when >= now_ && "cannot schedule events in the past");
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  if (when < now_) {
+    // Release builds: clamp to now. The event still runs after everything
+    // already queued for this cycle (its seq is younger), and the violation
+    // is counted so reports can surface the inconsistent timestamp.
+    ++stats_.past_violations;
+    when = now_;
+  }
+  ev->when_ = when;
+  ev->seq_ = next_seq_++;
+  ev->pending_ = true;
+  ev->next_ = nullptr;
+  if (when - base_ < kBuckets) {
+    bucket_append(ev);
+    ++ring_count_;
+  } else {
+    push_overflow(ev);
+    ++stats_.overflow_events;
+  }
+  ++pending_count_;
+  if (pending_count_ > stats_.max_pending) stats_.max_pending = pending_count_;
+}
+
+void Engine::bucket_append(Event* ev) {
+  Bucket& b = ring_[ev->when_ & kBucketMask];
+  // Ring invariant: a bucket holds exactly one timestamp (width 1, single
+  // lap), and arrivals append in seq order — direct schedules carry ever-
+  // increasing seqs, and overflow migration completes before any direct
+  // schedule can target the same cycle.
+  assert(b.tail == nullptr ||
+         (b.tail->when_ == ev->when_ && b.tail->seq_ < ev->seq_));
+  if (b.tail != nullptr) {
+    b.tail->next_ = ev;
+  } else {
+    b.head = ev;
+  }
+  b.tail = ev;
+}
+
+void Engine::push_overflow(Event* ev) {
+  overflow_.push_back(ev);
+  std::push_heap(overflow_.begin(), overflow_.end(), OverflowAfter{});
+}
+
+void Engine::migrate_overflow() {
+  while (!overflow_.empty() && overflow_.front()->when() - base_ < kBuckets) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), OverflowAfter{});
+    Event* ev = overflow_.back();
+    overflow_.pop_back();
+    bucket_append(ev);
+    ++ring_count_;
+  }
+}
+
+Event* Engine::pop_min() {
+  if (pending_count_ == 0) return nullptr;
+  if (ring_count_ == 0) {
+    // Nothing inside the horizon: jump the scan front to the earliest
+    // overflow event instead of walking empty buckets.
+    base_ = overflow_.front()->when();
+    migrate_overflow();
+  }
+  for (;;) {
+    Bucket& b = ring_[base_ & kBucketMask];
+    if (b.head != nullptr) {
+      Event* ev = b.head;
+      b.head = ev->next_;
+      if (b.head == nullptr) b.tail = nullptr;
+      --ring_count_;
+      --pending_count_;
+      return ev;
+    }
+    ++base_;
+    migrate_overflow();
+  }
 }
 
 void Engine::run() {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_) {
-    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-    // so copy the thunk handle (shared state inside std::function is cheap
-    // relative to simulated work).
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.when;
-    ++executed_;
-    ev.fn(now_);
+  while (!stopped_) {
+    Event* ev = pop_min();
+    if (ev == nullptr) break;
+    now_ = ev->when_;
+    ev->pending_ = false;
+    ++stats_.executed;
+    ev->fire(now_);
+    release(ev);
   }
 }
 
 std::size_t Engine::run_some(std::size_t max_events) {
   stopped_ = false;
   std::size_t n = 0;
-  while (n < max_events && !queue_.empty() && !stopped_) {
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.when;
-    ++executed_;
-    ev.fn(now_);
+  while (n < max_events && !stopped_) {
+    Event* ev = pop_min();
+    if (ev == nullptr) break;
+    now_ = ev->when_;
+    ev->pending_ = false;
+    ++stats_.executed;
+    ev->fire(now_);
+    release(ev);
     ++n;
   }
   return n;
+}
+
+void Engine::release(Event* ev) {
+  const std::uint8_t slot = ev->slot_;
+  if (slot == kExternalSlot) return;
+  ev->~Event();
+  if (slot == kHeapSlot) {
+    ::operator delete(static_cast<void*>(ev));
+  } else {
+    pool_free(static_cast<void*>(ev), slot);
+  }
+}
+
+void* Engine::pool_alloc(std::size_t bytes, std::uint8_t& slot_out) {
+  for (unsigned c = 0; c < kSlotClasses; ++c) {
+    if (bytes > kSlotSizes[c]) continue;
+    slot_out = static_cast<std::uint8_t>(c);
+    ++stats_.pool_events;
+    if (free_[c] == nullptr) {
+      const std::size_t slot = kSlotSizes[c];
+      Slab slab{std::make_unique<std::byte[]>(slot * kSlotsPerSlab),
+                slot * kSlotsPerSlab};
+      std::byte* base = slab.mem.get();
+      slabs_.push_back(std::move(slab));
+      // Chain in address order (LIFO reuse keeps recently-fired slots hot).
+      for (std::size_t i = kSlotsPerSlab; i-- > 0;) {
+        auto* node = reinterpret_cast<FreeNode*>(base + i * slot);
+        node->next = free_[c];
+        free_[c] = node;
+        LRC_POISON(base + i * slot + sizeof(FreeNode),
+                   slot - sizeof(FreeNode));
+      }
+    }
+    FreeNode* n = free_[c];
+    free_[c] = n->next;
+    LRC_UNPOISON(n, kSlotSizes[c]);
+    return n;
+  }
+  slot_out = kHeapSlot;
+  ++stats_.heap_events;
+  return ::operator new(bytes);
+}
+
+void Engine::pool_free(void* mem, std::uint8_t slot) {
+  auto* n = reinterpret_cast<FreeNode*>(mem);
+  n->next = free_[slot];
+  free_[slot] = n;
+  LRC_POISON(static_cast<std::byte*>(mem) + sizeof(FreeNode),
+             kSlotSizes[slot] - sizeof(FreeNode));
 }
 
 }  // namespace lrc::sim

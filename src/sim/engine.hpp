@@ -1,23 +1,88 @@
-// Deterministic discrete-event engine. Events are (time, sequence, thunk)
-// triples executed in nondecreasing time order; ties break by insertion
-// order, which makes every simulation run bit-reproducible.
+// Deterministic discrete-event engine. Events are (time, sequence) keyed
+// intrusive objects executed in nondecreasing time order; ties break by
+// schedule order, which makes every simulation run bit-reproducible.
+//
+// Hot-path design (see DESIGN.md "Simulation kernel"):
+//  * Pooled allocation — pooled events live in engine-owned slabs carved
+//    into small fixed-size slots recycled through per-class freelists, so
+//    the steady state allocates nothing. Oversized events fall back to the
+//    heap; caller-owned "external" events are never allocated at all.
+//  * Calendar queue — a ring of one-cycle buckets covering the near future
+//    (the common case for protocol latencies) gives O(1) insert and pop;
+//    events beyond the horizon wait in a (when, seq) min-heap and migrate
+//    into the ring as the scan front advances.
 #pragma once
 
+#include <array>
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/event.hpp"
 #include "sim/types.hpp"
 
 namespace lrc::sim {
 
+/// Kernel health counters (reports, microbenches, regression tests).
+struct EngineStats {
+  std::uint64_t executed = 0;         // events fired
+  std::uint64_t past_violations = 0;  // schedules with when < now(), clamped
+  std::uint64_t pool_events = 0;      // pooled events served from a slab slot
+  std::uint64_t heap_events = 0;      // oversized pooled events (plain new)
+  std::uint64_t overflow_events = 0;  // inserts landing beyond the horizon
+  std::uint64_t max_pending = 0;      // high-water mark of the queue
+};
+
 class Engine {
  public:
-  using Thunk = std::function<void(Cycle)>;
+  /// Largest event the slab pool serves; bigger types fall back to the heap.
+  static constexpr std::size_t kMaxPooledBytes = 256;
 
-  /// Schedules `fn` to run at absolute time `when` (>= now()).
-  void schedule(Cycle when, Thunk fn);
+  Engine() = default;
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Schedules callable `fn(Cycle)` at absolute time `when` (>= now()).
+  /// The callable is moved into a pooled event (small-buffer: no heap
+  /// allocation for captures up to the largest slot class).
+  template <typename F>
+  void schedule(Cycle when, F&& fn) {
+    using E = LambdaEvent<std::decay_t<F>>;
+    schedule_make<E>(when, std::forward<F>(fn));
+  }
+
+  /// Creates a pooled event of type T in place and schedules it. The
+  /// returned pointer stays valid until the event fires (it is destroyed
+  /// and recycled afterwards); use it only for pre-fire mutation — e.g.
+  /// NIC same-cycle batching — guarded by pending()/seq()/last_seq().
+  template <typename T, typename... Args>
+  T* schedule_make(Cycle when, Args&&... args) {
+    static_assert(std::is_base_of_v<Event, T>);
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "over-aligned event types are not supported by the pool");
+    std::uint8_t slot = 0;
+    void* mem = pool_alloc(sizeof(T), slot);
+    T* ev = new (mem) T(std::forward<Args>(args)...);
+    static_cast<Event*>(ev)->slot_ = slot;
+    enqueue(ev, when);
+    return ev;
+  }
+
+  /// Schedules a caller-owned event. The engine never destroys it; the
+  /// caller keeps it alive until it fires and may then reschedule it.
+  /// An external event must not be scheduled again while still pending.
+  void schedule_external(Cycle when, Event& ev) {
+    assert(!ev.pending_ && "external event already scheduled");
+    ev.slot_ = kExternalSlot;
+    enqueue(&ev, when);
+  }
 
   /// Runs events until the queue is empty or `stop()` is called.
   void run();
@@ -30,28 +95,90 @@ class Engine {
   /// Time of the event currently executing (or last executed).
   Cycle now() const { return now_; }
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
-  std::uint64_t events_executed() const { return executed_; }
+  bool empty() const { return pending_count_ == 0; }
+  std::size_t pending() const { return pending_count_; }
+  std::uint64_t events_executed() const { return stats_.executed; }
+
+  /// Schedules that tried to run in the past (clamped to now()); nonzero
+  /// means a component computed an inconsistent timestamp (debug asserts).
+  std::uint64_t past_violations() const { return stats_.past_violations; }
+
+  const EngineStats& stats() const { return stats_; }
+
+  /// Sequence id handed to the most recently scheduled event. Batching
+  /// callers compare this with a held event's seq() to prove that no other
+  /// event could interleave (consecutive seqs at one time fire back to
+  /// back, so appending work to the held event preserves exact order).
+  std::uint64_t last_seq() const { return next_seq_ - 1; }
 
  private:
-  struct Event {
-    Cycle when;
-    std::uint64_t seq;
-    Thunk fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+  template <typename F>
+  class LambdaEvent final : public Event {
+   public:
+    explicit LambdaEvent(F fn) : fn_(std::move(fn)) {}
+    void fire(Cycle now) override { fn_(now); }
+
+   private:
+    F fn_;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // ---- Pool --------------------------------------------------------------
+  // Slot classes cover the event sizes the simulator actually makes:
+  // 64 B fits plain continuation lambdas, 128 B message-carrying events,
+  // 256 B the NIC's batched arrivals. Larger types go to the heap.
+  static constexpr std::size_t kSlotSizes[] = {64, 128, 256};
+  static constexpr unsigned kSlotClasses = 3;
+  static constexpr std::size_t kSlotsPerSlab = 512;
+  static constexpr std::uint8_t kHeapSlot = 0xFE;
+  static constexpr std::uint8_t kExternalSlot = 0xFF;
+  static_assert(kSlotSizes[kSlotClasses - 1] == kMaxPooledBytes);
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+  struct Slab {
+    std::unique_ptr<std::byte[]> mem;
+    std::size_t bytes;
+  };
+
+  void* pool_alloc(std::size_t bytes, std::uint8_t& slot_out);
+  void pool_free(void* mem, std::uint8_t slot);
+
+  /// Destroys a fired (or abandoned) event according to its ownership.
+  void release(Event* ev);
+
+  // ---- Calendar queue ----------------------------------------------------
+  static constexpr std::size_t kBucketBits = 11;  // 2048 one-cycle buckets
+  static constexpr std::size_t kBuckets = std::size_t{1} << kBucketBits;
+  static constexpr std::size_t kBucketMask = kBuckets - 1;
+
+  struct Bucket {
+    Event* head = nullptr;
+    Event* tail = nullptr;
+  };
+
+  /// Guard + key assignment + insert. Clamp past times (assert in debug).
+  void enqueue(Event* ev, Cycle when);
+  void bucket_append(Event* ev);
+  void push_overflow(Event* ev);
+  /// Moves overflow events whose time entered the horizon into the ring.
+  void migrate_overflow();
+  /// Next event in (when, seq) order, or nullptr. Advances base_.
+  Event* pop_min();
+
+  std::array<Bucket, kBuckets> ring_{};
+  std::size_t ring_count_ = 0;
+  std::vector<Event*> overflow_;  // min-heap on (when, seq)
+  Cycle base_ = 0;                // scan front: all events < base_ fired
+  std::size_t pending_count_ = 0;
+
   Cycle now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t executed_ = 0;
   bool stopped_ = false;
+  EngineStats stats_;
+
+  std::array<FreeNode*, kSlotClasses> free_{};
+  std::vector<Slab> slabs_;
 };
 
 }  // namespace lrc::sim

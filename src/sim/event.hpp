@@ -1,0 +1,53 @@
+// Intrusive simulation events: the unit of work the engine's calendar queue
+// holds. An Event carries its own queue key (when, seq) and bucket link, so
+// scheduling allocates nothing beyond the event object itself — and usually
+// not even that, because the engine recycles pooled events through a
+// freelist (see Engine::schedule_make).
+//
+// Ownership models:
+//  * pooled   — created via Engine::schedule_make<T>() / Engine::schedule();
+//               storage comes from the engine's slab pool (or the heap for
+//               oversized types) and is destroyed and recycled after fire().
+//  * external — a caller-owned object (typically a long-lived member, e.g.
+//               a Cpu's resume event) passed to Engine::schedule_external();
+//               the engine never destroys it, and the caller may reschedule
+//               it each time it fires.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace lrc::sim {
+
+class Engine;
+
+class Event {
+ public:
+  virtual ~Event() = default;
+
+  /// Runs the event. `now` equals when() (or the clamped schedule time).
+  virtual void fire(Cycle now) = 0;
+
+  /// Scheduled execution time. Valid while pending().
+  Cycle when() const { return when_; }
+
+  /// Deterministic tie-break id: assigned monotonically at schedule time,
+  /// so equal-time events run in schedule order.
+  std::uint64_t seq() const { return seq_; }
+
+  /// True from schedule until just before fire(). External events may be
+  /// rescheduled only while not pending.
+  bool pending() const { return pending_; }
+
+ private:
+  friend class Engine;
+
+  Event* next_ = nullptr;  // intrusive link within a calendar bucket
+  Cycle when_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint8_t slot_ = 0;  // pool slot class; engine-internal
+  bool pending_ = false;
+};
+
+}  // namespace lrc::sim

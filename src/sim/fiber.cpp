@@ -4,12 +4,28 @@
 #include <cstdlib>
 #include <stdexcept>
 
+// AddressSanitizer must be told about stack switches, or its shadow-stack
+// bookkeeping misattributes frames and reports false positives. The
+// annotations below bracket every swapcontext in resume()/yield().
+#if defined(__SANITIZE_ADDRESS__)
+#define LRC_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define LRC_FIBER_ASAN 1
+#endif
+#endif
+
+#ifdef LRC_FIBER_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace lrc::sim {
 
 namespace {
-// Single-threaded simulator: plain globals are sufficient and cheaper than
-// thread_local on the hot resume/yield path.
-Fiber* g_current = nullptr;
+// One simulation per host thread (the bench harness runs independent
+// Machines on a thread pool), so the "currently running fiber" is
+// per-thread state.
+thread_local Fiber* g_current = nullptr;
 }  // namespace
 
 Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
@@ -31,8 +47,20 @@ Fiber::~Fiber() {
 void Fiber::trampoline() {
   Fiber* self = g_current;
   assert(self != nullptr);
+#ifdef LRC_FIBER_ASAN
+  // First entry onto the fiber stack: complete the switch begun in resume()
+  // and capture the caller's stack bounds for the switches back.
+  __sanitizer_finish_switch_fiber(nullptr, &self->asan_caller_stack_,
+                                  &self->asan_caller_size_);
+#endif
   self->fn_();
   self->finished_ = true;
+#ifdef LRC_FIBER_ASAN
+  // Dying switch back to the caller; nullptr releases this fiber's fake
+  // stack.
+  __sanitizer_start_switch_fiber(nullptr, self->asan_caller_stack_,
+                                 self->asan_caller_size_);
+#endif
   // Falling off the end returns to uc_link (the caller_ context captured by
   // the most recent resume()).
 }
@@ -42,7 +70,14 @@ void Fiber::resume() {
   assert(!finished_);
   g_current = this;
   started_ = true;
+#ifdef LRC_FIBER_ASAN
+  void* fake = nullptr;
+  __sanitizer_start_switch_fiber(&fake, stack_.data(), stack_.size());
+#endif
   swapcontext(&caller_, &ctx_);
+#ifdef LRC_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
   g_current = nullptr;
 }
 
@@ -50,7 +85,17 @@ void Fiber::yield() {
   Fiber* self = g_current;
   assert(self != nullptr && "yield() must be called from inside a fiber");
   g_current = nullptr;
+#ifdef LRC_FIBER_ASAN
+  __sanitizer_start_switch_fiber(&self->asan_fake_stack_,
+                                 self->asan_caller_stack_,
+                                 self->asan_caller_size_);
+#endif
   swapcontext(&self->ctx_, &self->caller_);
+#ifdef LRC_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(self->asan_fake_stack_,
+                                  &self->asan_caller_stack_,
+                                  &self->asan_caller_size_);
+#endif
   g_current = self;
 }
 

@@ -1,7 +1,9 @@
 // Cooperative user-level fibers built on POSIX ucontext. One fiber hosts
 // each simulated processor's program; the event engine runs on the main
-// context and resumes fibers explicitly. Single host thread only — the
-// simulation is fully deterministic.
+// context and resumes fibers explicitly. All switching for one simulation
+// happens on one host thread (the current-fiber pointer is thread-local,
+// so independent simulations may run on different threads concurrently) —
+// each simulation is fully deterministic.
 #pragma once
 
 #include <cstddef>
@@ -44,6 +46,12 @@ class Fiber {
   ucontext_t caller_{};
   bool started_ = false;
   bool finished_ = false;
+
+  // AddressSanitizer fiber bookkeeping (unused in plain builds): this
+  // fiber's fake-stack handle and the caller stack bounds for yields back.
+  void* asan_fake_stack_ = nullptr;
+  const void* asan_caller_stack_ = nullptr;
+  std::size_t asan_caller_size_ = 0;
 };
 
 }  // namespace lrc::sim

@@ -1,0 +1,168 @@
+// Bit-reproducibility of whole simulations.
+//
+// The kernel guarantees a total (time, seq) order on events, so a run is a
+// pure function of (app, protocol, seed, parameters).  These tests pin that
+// property end to end: repeated runs with one seed must produce identical
+// reports, and the parallel experiment scheduler (--jobs N) must produce
+// byte-for-byte the same results as a serial sweep.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "core/report.hpp"
+
+namespace lrc {
+namespace {
+
+// FNV-1a over every counter a Report carries.  Any divergence between two
+// runs — a single cycle, one extra message — changes the digest.
+class Digest {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xffu;
+      h_ *= 1099511628211ull;
+    }
+  }
+  void mix(const std::string& s) {
+    mix(s.size());
+    for (unsigned char c : s) {
+      h_ ^= c;
+      h_ *= 1099511628211ull;
+    }
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ull;
+};
+
+std::uint64_t digest(const core::Report& r) {
+  Digest d;
+  d.mix(r.protocol);
+  d.mix(r.nprocs);
+  d.mix(r.execution_time);
+  for (auto c : r.breakdown.cycles) d.mix(c);
+  d.mix(r.per_cpu.size());
+  for (const auto& b : r.per_cpu)
+    for (auto c : b.cycles) d.mix(c);
+  for (const auto& h : r.stall_hist) {
+    d.mix(h.count());
+    d.mix(h.sum());
+    d.mix(h.max());
+    for (unsigned b = 0; b < stats::Histogram::kBuckets; ++b)
+      d.mix(h.bucket(b));
+  }
+  d.mix(r.cache.read_hits);
+  d.mix(r.cache.read_misses);
+  d.mix(r.cache.write_hits);
+  d.mix(r.cache.write_misses);
+  d.mix(r.cache.upgrade_misses);
+  d.mix(r.cache.evictions);
+  d.mix(r.cache.invalidations);
+  for (auto v : r.miss_classes.n) d.mix(v);
+  d.mix(r.nic.messages);
+  d.mix(r.nic.control_messages);
+  d.mix(r.nic.data_messages);
+  d.mix(r.nic.payload_bytes);
+  d.mix(r.nic.batched_arrivals);
+  d.mix(r.nic.send_contention);
+  d.mix(r.nic.recv_contention);
+  d.mix(r.dram.reads);
+  d.mix(r.dram.writes);
+  d.mix(r.dram.bytes);
+  d.mix(r.dram.contention);
+  d.mix(r.dram.busy);
+  d.mix(r.lock_acquires);
+  d.mix(r.barrier_episodes);
+  d.mix(r.sync.lock_requests);
+  d.mix(r.sync.lock_grants);
+  d.mix(r.sync.queued_requests);
+  d.mix(r.sync.max_queue);
+  d.mix(r.sync.barrier_arrivals);
+  d.mix(r.sched_past_violations);
+  d.mix(r.events_executed);
+  return d.value();
+}
+
+bench::Options test_options() {
+  bench::Options opt;
+  opt.scale = bench::Scale::kTest;
+  opt.seed = 7;
+  opt.validate = false;  // apps are validated elsewhere; keep this fast
+  return opt;
+}
+
+const std::vector<core::ProtocolKind> kAllKinds = {
+    core::ProtocolKind::kSC, core::ProtocolKind::kERC,
+    core::ProtocolKind::kLRC, core::ProtocolKind::kLRCExt};
+
+// Same seed, same experiment, run twice in this process: identical reports.
+TEST(Determinism, SameSeedSameReport) {
+  const auto opt = test_options();
+  for (const auto* app : bench::selected_apps(opt)) {
+    for (auto kind : kAllKinds) {
+      const auto a = bench::run_app(*app, kind, opt);
+      const auto b = bench::run_app(*app, kind, opt);
+      EXPECT_EQ(digest(a.report), digest(b.report))
+          << app->name << " / " << a.report.protocol;
+      EXPECT_EQ(a.report.summary(), b.report.summary());
+    }
+  }
+}
+
+// A different seed must actually change something, or the digest (and the
+// tests above) would be vacuous.  mp3d's seed drives particle placement and
+// thus the sharing pattern itself.
+TEST(Determinism, SeedReachesTheSimulation) {
+  auto opt = test_options();
+  opt.apps = {"mp3d"};
+  const auto* app = bench::selected_apps(opt).front();
+  const auto a = bench::run_app(*app, core::ProtocolKind::kLRC, opt);
+  opt.seed = 99;
+  const auto b = bench::run_app(*app, core::ProtocolKind::kLRC, opt);
+  EXPECT_NE(digest(a.report), digest(b.report));
+}
+
+// The parallel experiment scheduler is an implementation detail: a --jobs N
+// sweep must be bit-identical to the serial --jobs 1 sweep, in order.
+TEST(Determinism, ParallelSweepMatchesSerial) {
+  auto opt = test_options();
+  opt.jobs = 1;
+  const auto serial = bench::run_matrix(opt, kAllKinds);
+  opt.jobs = 4;
+  const auto parallel = bench::run_matrix(opt, kAllKinds);
+
+  const auto apps = bench::selected_apps(opt);
+  ASSERT_EQ(serial.size(), apps.size());
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].size(), kAllKinds.size());
+    ASSERT_EQ(parallel[i].size(), serial[i].size());
+    for (std::size_t j = 0; j < serial[i].size(); ++j) {
+      EXPECT_EQ(digest(serial[i][j].report), digest(parallel[i][j].report))
+          << apps[i]->name << " / " << serial[i][j].report.protocol;
+      EXPECT_EQ(serial[i][j].report.summary(),
+                parallel[i][j].report.summary());
+    }
+  }
+}
+
+// Past-time schedules indicate a broken component; no app/protocol pair may
+// trip the release-mode clamp.
+TEST(Determinism, NoPastTimeSchedules) {
+  const auto opt = test_options();
+  const auto results = bench::run_matrix(opt, kAllKinds);
+  for (const auto& row : results) {
+    for (const auto& cell : row) {
+      EXPECT_EQ(cell.report.sched_past_violations, 0u)
+          << cell.report.protocol;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lrc

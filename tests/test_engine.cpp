@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
+
+#include "sim/event.hpp"
 
 namespace lrc::sim {
 namespace {
@@ -91,6 +94,132 @@ TEST(Engine, NowAdvancesMonotonically) {
   }
   e.run();
   EXPECT_TRUE(monotone);
+}
+
+// Events far beyond the calendar ring land in the overflow heap; ties there
+// must still fire in schedule order once they migrate back into the ring.
+TEST(Engine, OverflowTiesBreakByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  const Cycle far = 1u << 20;  // way past the ring horizon
+  for (int i = 0; i < 16; ++i) {
+    e.schedule(far, [&order, i](Cycle) { order.push_back(i); });
+  }
+  e.schedule(3, [&order](Cycle) { order.push_back(-1); });
+  e.run();
+  ASSERT_EQ(order.size(), 17u);
+  EXPECT_EQ(order[0], -1);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<unsigned>(i) + 1], i);
+  EXPECT_EQ(e.now(), far);
+}
+
+// Interleave near (ring) and far (overflow) timestamps so migration happens
+// while the ring is non-empty; global (time, seq) order must hold throughout.
+TEST(Engine, MixedRingAndOverflowStaysOrdered) {
+  Engine e;
+  std::vector<Cycle> fired;
+  std::uint32_t rng = 12345;
+  for (int i = 0; i < 2000; ++i) {
+    rng = rng * 1664525u + 1013904223u;
+    const Cycle when = rng % (1u << 16);  // spans several ring laps
+    e.schedule(when, [&fired](Cycle t) { fired.push_back(t); });
+  }
+  e.run();
+  ASSERT_EQ(fired.size(), 2000u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_LE(fired[i - 1], fired[i]);
+  }
+}
+
+// Events may schedule follow-ups across ring laps from inside fire().
+TEST(Engine, ChainsAcrossCalendarLaps) {
+  Engine e;
+  int hops = 0;
+  std::function<void(Cycle)> hop = [&](Cycle t) {
+    ++hops;
+    if (hops < 8) e.schedule(t + 3000, hop);  // > ring width per hop
+  };
+  e.schedule(0, hop);
+  e.run();
+  EXPECT_EQ(hops, 8);
+  EXPECT_EQ(e.now(), 7u * 3000u);
+}
+
+struct CountingEvent final : Event {
+  int* counter;
+  Cycle* seen;
+  explicit CountingEvent(int* c, Cycle* s) : counter(c), seen(s) {}
+  void fire(Cycle t) override {
+    ++*counter;
+    *seen = t;
+  }
+};
+
+// schedule_make places typed events in the pool and recycles them.
+TEST(Engine, TypedPooledEventsFireAndRecycle) {
+  Engine e;
+  int count = 0;
+  Cycle seen = 0;
+  for (int i = 0; i < 100; ++i) {
+    e.schedule_make<CountingEvent>(static_cast<Cycle>(i), &count, &seen);
+  }
+  e.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(seen, 99u);
+  EXPECT_EQ(e.stats().pool_events, 100u);
+  EXPECT_EQ(e.stats().heap_events, 0u);
+}
+
+// A caller-owned event can be rescheduled repeatedly with zero allocation.
+TEST(Engine, ExternalEventIsReusable) {
+  Engine e;
+  int count = 0;
+  Cycle seen = 0;
+  CountingEvent ev(&count, &seen);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_FALSE(ev.pending());
+    e.schedule_external(static_cast<Cycle>(round * 10), ev);
+    EXPECT_TRUE(ev.pending());
+    e.run();
+    EXPECT_EQ(count, round + 1);
+    EXPECT_EQ(seen, static_cast<Cycle>(round * 10));
+  }
+  EXPECT_EQ(e.stats().pool_events, 0u);
+  EXPECT_EQ(e.stats().heap_events, 0u);
+}
+
+// Closures above the pooled slot ceiling fall back to the heap but behave
+// identically.
+TEST(Engine, OversizedEventsFallBackToHeap) {
+  Engine e;
+  struct Big {
+    char pad[Engine::kMaxPooledBytes] = {};
+  };
+  Big big;
+  big.pad[0] = 42;
+  int got = 0;
+  e.schedule(4, [big, &got](Cycle) { got = big.pad[0]; });
+  e.run();
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(e.stats().heap_events, 1u);
+}
+
+// Scheduling in the past is a bug in the caller.  Debug builds die on it;
+// release builds clamp to now() and count the violation.
+TEST(Engine, PastScheduleIsRejected) {
+  Engine e;
+  e.schedule(50, [](Cycle) {});
+  e.run();
+  ASSERT_EQ(e.now(), 50u);
+#ifndef NDEBUG
+  EXPECT_DEATH(e.schedule(10, [](Cycle) {}), "");
+#else
+  int fired_at = -1;
+  e.schedule(10, [&](Cycle t) { fired_at = static_cast<int>(t); });
+  e.run();
+  EXPECT_EQ(fired_at, 50);  // clamped to now()
+  EXPECT_EQ(e.past_violations(), 1u);
+#endif
 }
 
 }  // namespace
