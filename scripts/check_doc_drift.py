@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Fail when docs/PROTOCOL.md and the protocol sources drift apart.
+
+Checks, in both directions:
+
+  1. Every DirState member (src/proto/directory.hpp), MsgKind member
+     (src/mesh/message.hpp), and kTag* constant (src/proto/*.{hpp,cpp})
+     must be mentioned in docs/PROTOCOL.md.
+  2. Every `kSomething` token used in docs/PROTOCOL.md must exist in the
+     union of those code-side names — a renamed or deleted state/message
+     makes the doc reference fail here.
+  3. Every `src/<path>:<line>` anchor in docs/PROTOCOL.md must point at an
+     existing file, and when the anchor names a symbol — the form is
+     `src/foo.cpp:123` (`symbol`) — that symbol must occur within +/-40
+     lines of the anchored line, so anchors rot loudly, not silently.
+
+Run from the repository root:  python3 scripts/check_doc_drift.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC = ROOT / "docs" / "PROTOCOL.md"
+ANCHOR_SLACK = 40  # lines a symbol may move before an anchor is stale
+
+
+def parse_enum(path: Path, enum_name: str) -> set[str]:
+    """Member names of `enum class <enum_name>` in `path`."""
+    text = path.read_text()
+    m = re.search(
+        r"enum\s+class\s+" + enum_name + r"\b[^{]*\{(.*?)\};", text, re.S
+    )
+    if m is None:
+        sys.exit(f"error: enum class {enum_name} not found in {path}")
+    body = re.sub(r"//[^\n]*", "", m.group(1))  # strip comments
+    members = set(re.findall(r"\b(k[A-Z][A-Za-z0-9]*)\b", body))
+    members.discard("kCount")  # sentinel, not a real state/kind
+    return members
+
+
+def parse_tags() -> set[str]:
+    """kTag* constants across the protocol layer."""
+    tags: set[str] = set()
+    for src in sorted((ROOT / "src" / "proto").glob("*.[ch]pp")):
+        for line in src.read_text().splitlines():
+            m = re.search(r"constexpr\s+\S+\s+(kTag[A-Za-z0-9]+)\s*=", line)
+            if m:
+                tags.add(m.group(1))
+    return tags
+
+
+def check_forward(doc_text: str, names: set[str], what: str) -> list[str]:
+    return [
+        f"{what} {name} is not documented in docs/PROTOCOL.md"
+        for name in sorted(names)
+        if re.search(r"\b" + name + r"\b", doc_text) is None
+    ]
+
+
+def check_reverse(doc_text: str, known: set[str]) -> list[str]:
+    errors = []
+    for lineno, line in enumerate(doc_text.splitlines(), start=1):
+        for tok in re.findall(r"\b(k[A-Z][A-Za-z0-9]*)\b", line):
+            if tok not in known:
+                errors.append(
+                    f"docs/PROTOCOL.md:{lineno}: {tok} does not exist in the "
+                    "protocol sources (renamed or removed?)"
+                )
+    return errors
+
+
+ANCHOR_RE = re.compile(
+    r"`(src/[A-Za-z0-9_/.]+\.(?:cpp|hpp)):(\d+)`(?:\s*\(`([A-Za-z_][A-Za-z0-9_]*)`\))?"
+)
+
+
+def check_anchors(doc_text: str) -> list[str]:
+    errors = []
+    for lineno, line in enumerate(doc_text.splitlines(), start=1):
+        for path_str, line_str, symbol in ANCHOR_RE.findall(line):
+            target = ROOT / path_str
+            if not target.is_file():
+                errors.append(
+                    f"docs/PROTOCOL.md:{lineno}: anchor {path_str} does not exist"
+                )
+                continue
+            src_lines = target.read_text().splitlines()
+            n = int(line_str)
+            if n < 1 or n > len(src_lines):
+                errors.append(
+                    f"docs/PROTOCOL.md:{lineno}: anchor {path_str}:{n} is past "
+                    f"the end of the file ({len(src_lines)} lines)"
+                )
+                continue
+            if symbol:
+                lo = max(0, n - 1 - ANCHOR_SLACK)
+                hi = min(len(src_lines), n + ANCHOR_SLACK)
+                window = "\n".join(src_lines[lo:hi])
+                if re.search(r"\b" + re.escape(symbol) + r"\b", window) is None:
+                    errors.append(
+                        f"docs/PROTOCOL.md:{lineno}: anchor {path_str}:{n} "
+                        f"names `{symbol}` but it is not within "
+                        f"{ANCHOR_SLACK} lines of that location"
+                    )
+    return errors
+
+
+def main() -> int:
+    if not DOC.is_file():
+        sys.exit("error: docs/PROTOCOL.md not found (run from the repo root)")
+    doc_text = DOC.read_text()
+
+    dir_states = parse_enum(ROOT / "src" / "proto" / "directory.hpp", "DirState")
+    msg_kinds = parse_enum(ROOT / "src" / "mesh" / "message.hpp", "MsgKind")
+    tags = parse_tags()
+    known = dir_states | msg_kinds | tags
+
+    errors = []
+    errors += check_forward(doc_text, dir_states, "directory state")
+    errors += check_forward(doc_text, msg_kinds, "message kind")
+    errors += check_forward(doc_text, tags, "protocol tag")
+    errors += check_reverse(doc_text, known)
+    errors += check_anchors(doc_text)
+
+    if errors:
+        print(f"doc drift: {len(errors)} problem(s)")
+        for e in errors:
+            print("  " + e)
+        return 1
+
+    n_anchors = len(ANCHOR_RE.findall(doc_text))
+    print(
+        f"doc drift: OK ({len(dir_states)} states, {len(msg_kinds)} message "
+        f"kinds, {len(tags)} tags, {n_anchors} anchors checked)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Verify that relative markdown links in the repo's docs resolve.
+
+Scans every *.md file at the repo root and under docs/, extracts inline
+links `[text](target)`, and checks that non-URL targets exist relative to
+the file containing the link. Fragments (`file.md#section`) are checked
+for file existence only.
+
+Run from the repository root:  python3 scripts/check_md_links.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def md_files() -> list[Path]:
+    files = sorted(ROOT.glob("*.md"))
+    files += sorted((ROOT / "docs").glob("**/*.md"))
+    return files
+
+
+def main() -> int:
+    errors = []
+    checked = 0
+    for md in md_files():
+        base = md.parent
+        for lineno, line in enumerate(md.read_text().splitlines(), start=1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                path_part = target.split("#", 1)[0]
+                if not path_part:
+                    continue
+                checked += 1
+                if not (base / path_part).exists():
+                    rel = md.relative_to(ROOT)
+                    errors.append(f"{rel}:{lineno}: broken link {target}")
+
+    if errors:
+        print(f"markdown links: {len(errors)} broken")
+        for e in errors:
+            print("  " + e)
+        return 1
+    print(f"markdown links: OK ({checked} relative links checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

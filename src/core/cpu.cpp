@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "check/hooks.hpp"
 #include "core/machine.hpp"
 #include "proto/protocol.hpp"
 #include "proto/sync_manager.hpp"
@@ -23,9 +24,25 @@ void Cpu::compute(Cycle n) { tick(n); }
 
 void Cpu::fence() { m_.protocol().fence(*this); }
 
-void Cpu::lock(SyncId s) { m_.protocol().acquire(*this, s); }
-void Cpu::unlock(SyncId s) { m_.protocol().release(*this, s); }
-void Cpu::barrier(SyncId s) { m_.protocol().barrier(*this, s); }
+// Checker hooks bracket the protocol calls so the host-order sequence of
+// hook firings matches the simulated happens-before order: a release hook
+// runs before the lock can be granted elsewhere, and an acquire hook runs
+// only after the grant came back to this fiber.
+void Cpu::lock(SyncId s) {
+  m_.protocol().acquire(*this, s);
+  LRCSIM_HOOK(m_, on_acquire(id_, s));
+}
+void Cpu::unlock(SyncId s) {
+  LRCSIM_HOOK(m_, on_release(id_, s));
+  m_.protocol().release(*this, s);
+  LRCSIM_HOOK(m_, on_release_drained(*this, "unlock"));
+}
+void Cpu::barrier(SyncId s) {
+  LRCSIM_HOOK(m_, on_barrier_arrive(id_, s));
+  m_.protocol().barrier(*this, s);
+  LRCSIM_HOOK(m_, on_release_drained(*this, "barrier"));
+  LRCSIM_HOOK(m_, on_barrier_done(id_, s));
+}
 
 void Cpu::tick(Cycle n) {
   bd_[stats::StallKind::kCpu] += n;

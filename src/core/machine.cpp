@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "check/checker.hpp"
 #include "proto/sync_manager.hpp"
 
 namespace lrc::core {
@@ -30,6 +31,17 @@ Machine::Machine(const SystemParams& params, ProtocolKind protocol)
 }
 
 Machine::~Machine() = default;
+
+check::Checker* Machine::enable_checker(bool strict) {
+#ifdef LRCSIM_CHECK
+  if (!checker_) {
+    checker_ = std::make_unique<check::Checker>(*this, strict);
+  }
+#else
+  (void)strict;  // compiled out: hooks are no-ops, a checker would see nothing
+#endif
+  return checker_.get();
+}
 
 Addr Machine::alloc_bytes(std::size_t bytes, std::string name) {
   return store_.allocate(bytes, params_.line_bytes, std::move(name));
@@ -88,6 +100,7 @@ void Machine::dispatch(const mesh::Message& msg, Cycle t) {
                          ? sync_->handle(msg, start)
                          : protocol_->handle(msg, start);
   pp_free_[msg.dst] = start + cost;
+  LRCSIM_HOOK(*this, after_handle(msg));
 }
 
 void Machine::run(std::function<void(Cpu&)> body) {
@@ -115,6 +128,14 @@ void Machine::run(std::function<void(Cpu&)> body) {
   if (!stuck.empty()) {
     throw std::runtime_error("deadlock: no pending events but" + stuck);
   }
+#ifdef LRCSIM_CHECK
+  // Engine stopped; this is normal (non-fiber) context, so strict mode may
+  // safely throw collected violations here.
+  if (checker_) {
+    checker_->final_check();
+    checker_->throw_if_violations();
+  }
+#endif
 }
 
 Report Machine::report() const {

@@ -17,6 +17,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "check/hooks.hpp"
 #include "core/cpu.hpp"
 #include "core/params.hpp"
 #include "core/report.hpp"
@@ -32,6 +33,10 @@
 
 namespace lrc::proto {
 class SyncManager;
+}
+
+namespace lrc::check {
+class Checker;
 }
 
 namespace lrc::core {
@@ -115,6 +120,14 @@ class Machine {
   /// before run() records every delivery for debugging/tests.
   sim::Trace& trace() { return trace_; }
 
+  /// Enables the runtime consistency checker (docs/CHECKER.md). Only
+  /// available in LRCSIM_CHECK builds — returns nullptr when the checker is
+  /// compiled out, so callers can skip. Call before run(). In strict mode
+  /// run() throws check::ViolationError after the engine stops if any
+  /// violation was recorded.
+  check::Checker* enable_checker(bool strict = true);
+  check::Checker* checker() { return checker_.get(); }
+
   NodeId home_of_line(LineId l) { return amap_.home_of_line(l); }
 
   /// Re-injects a deferred message into dispatch at time `t` (used by the
@@ -155,6 +168,7 @@ class Machine {
   std::unique_ptr<proto::SyncManager> sync_;
   std::unique_ptr<proto::Protocol> protocol_;
   std::vector<std::unique_ptr<Cpu>> cpus_;
+  std::unique_ptr<check::Checker> checker_;
   bool ran_ = false;
 };
 
@@ -164,6 +178,7 @@ template <typename T>
 T Cpu::read(Addr a) {
   static_assert(std::is_trivially_copyable_v<T>);
   m_.protocol().cpu_read(*this, a, sizeof(T));
+  LRCSIM_HOOK(m_, on_read(id_, a, sizeof(T)));
   return m_.store().load<T>(a);
 }
 
@@ -171,6 +186,7 @@ template <typename T>
 void Cpu::write(Addr a, const T& v) {
   static_assert(std::is_trivially_copyable_v<T>);
   m_.protocol().cpu_write(*this, a, sizeof(T));
+  LRCSIM_HOOK(m_, on_write(id_, a, sizeof(T)));
   m_.store().store(a, v);
 }
 

@@ -2,6 +2,7 @@
 #include <bit>
 #include <cassert>
 
+#include "check/hooks.hpp"
 #include "proto/msi.hpp"
 
 namespace lrc::proto {
@@ -43,7 +44,9 @@ void ErcWt::commit_write(NodeId p, LineId line, WordMask words) {
 void ErcWt::do_fill(NodeId p, LineId line, LineState st, Cycle at) {
   auto& cpu = m_.cpu(p);
   auto victim = cpu.dcache().fill(line, st);
+  LRCSIM_HOOK(m_, on_fill(p, line));
   if (victim) {
+    LRCSIM_HOOK(m_, on_copy_dropped(p, victim->line));
     m_.classifier().on_copy_lost(p, victim->line, /*coherence=*/false);
     // Lines are never dirty; pending words leave through the coalescing
     // buffer instead of a writeback.

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "check/hooks.hpp"
+
 namespace lrc::proto {
 
 using cache::LineState;
@@ -154,6 +156,13 @@ void Lrc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
 Cycle Lrc::apply_invals(NodeId p, Cycle at) {
   auto& set = pending_inval_[p];
   if (set.empty()) return at;
+#ifdef LRCSIM_CHECK
+  // Negative-test mutation: drop the buffered notices instead of applying
+  // them. The value oracle must catch the resulting stale reads.
+  if (check::active_mutation() == check::Mutation::kSkipAcquireInvalidation) {
+    return at;
+  }
+#endif
   const Cycle cost = set.size() * params().write_notice_cost;
   const Cycle start = m_.pp_claim(p, at, cost);
   const Cycle done = start + cost;
@@ -162,6 +171,7 @@ Cycle Lrc::apply_invals(NodeId p, Cycle at) {
     if (m_.cpu(p).dcache().invalidate(line)) {
       m_.classifier().on_copy_lost(p, line, /*coherence=*/true);
     }
+    LRCSIM_HOOK(m_, on_copy_dropped(p, line));
     send(done, MsgKind::kInvalNotify, p, home_of(line), line);
   }
   set.clear();
@@ -184,7 +194,9 @@ void Lrc::send_write_through(NodeId p, LineId line, WordMask words, Cycle at) {
 void Lrc::do_fill(NodeId p, LineId line, LineState st, Cycle at) {
   auto& cpu = m_.cpu(p);
   auto victim = cpu.dcache().fill(line, st);
+  LRCSIM_HOOK(m_, on_fill(p, line));
   if (victim) {
+    LRCSIM_HOOK(m_, on_copy_dropped(p, victim->line));
     before_line_death(p, victim->line, at);
     if (auto entry = cpu.cb().pop_line(victim->line)) {
       send_write_through(p, victim->line, entry->words, at);

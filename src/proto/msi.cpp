@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "check/hooks.hpp"
+
 namespace lrc::proto {
 
 using cache::LineState;
@@ -219,7 +221,9 @@ void MsiBase::commit_write(NodeId p, LineId line, WordMask words) {
 void MsiBase::do_fill(NodeId p, LineId line, LineState st, Cycle at) {
   auto& cpu = m_.cpu(p);
   auto victim = cpu.dcache().fill(line, st);
+  LRCSIM_HOOK(m_, on_fill(p, line));
   if (victim) {
+    LRCSIM_HOOK(m_, on_copy_dropped(p, victim->line));
     m_.classifier().on_copy_lost(p, victim->line, /*coherence=*/false);
     if (victim->dirty != 0) {
       send(at, MsgKind::kWritebackData, p, home_of(victim->line), victim->line,
@@ -520,6 +524,7 @@ Cycle MsiBase::node_inval(const Message& msg, Cycle start) {
   if (m_.cpu(p).dcache().invalidate(msg.line)) {
     m_.classifier().on_copy_lost(p, msg.line, /*coherence=*/true);
   }
+  LRCSIM_HOOK(m_, on_copy_dropped(p, msg.line));
   send(start + cost, MsgKind::kInvalAck, p, msg.src, msg.line);
   return cost;
 }
@@ -546,6 +551,7 @@ Cycle MsiBase::node_forward(const Message& msg, Cycle start) {
          line_bytes());
   } else {
     cache.invalidate(msg.line);
+    LRCSIM_HOOK(m_, on_copy_dropped(p, msg.line));
     m_.classifier().on_copy_lost(p, msg.line, /*coherence=*/true);
     send(start + cost, MsgKind::kFwdDataReply, p, msg.requester, msg.line,
          line_bytes());

@@ -68,8 +68,9 @@ class Sc final : public MsiBase {
   void cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) override;
 };
 
-/// Eager release consistency (DASH-like): writes retire through a 4-entry
-/// coalescing write buffer with read bypass; releases stall until all
+/// Eager release consistency (DASH-like): writes retire through a
+/// coalescing write buffer with read bypass (SystemParams::
+/// write_buffer_entries, 4 in the paper); releases stall until all
 /// outstanding writes have performed.
 class Erc : public MsiBase {
  public:
@@ -80,7 +81,8 @@ class Erc : public MsiBase {
 
 /// Ablation variant (paper §4.2 discussion): eager release consistency
 /// with the lazy protocol's write-through data path — a write-through
-/// cache plus the 16-entry coalescing buffer — instead of write-back.
+/// cache plus the coalescing buffer (SystemParams::coalescing_entries,
+/// 16 in the paper) — instead of write-back.
 /// The directory behaviour (eager invalidations, single writer, 3-hop
 /// forwards) is unchanged; only the data path differs. The paper argues
 /// this "would be detrimental to the performance of other applications";

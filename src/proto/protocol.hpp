@@ -34,10 +34,13 @@ class Protocol {
   virtual void release(core::Cpu& cpu, SyncId s) = 0;
   virtual void barrier(core::Cpu& cpu, SyncId s) = 0;
 
-  /// Consistency fence (fiber context): forces buffered coherence work to
-  /// be processed now. The paper (§4.2) proposes these for programs with
-  /// data races whose solution quality suffers from delayed invalidations;
-  /// the eager protocols are always current, so their fence is free.
+  /// Consistency fence (fiber context): applies buffered write notices now,
+  /// giving acquire semantics without a lock. The paper's §4.2 proposes
+  /// fences for racy programs (e.g. chaotic relaxation) whose solution
+  /// quality degrades when invalidations are postponed to the next acquire.
+  /// Only the lazy protocols buffer notices, so only Lrc::fence overrides
+  /// this (LRC-ext inherits it); SC, ERC, and ERC-WT invalidate eagerly at
+  /// write time and use this default no-op.
   virtual void fence(core::Cpu& cpu) { (void)cpu; }
 
   /// End-of-program drain: leaves no outstanding transactions so statistics
