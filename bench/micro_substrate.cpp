@@ -62,7 +62,7 @@ void BM_NicSend(benchmark::State& state) {
   sim::Engine engine;
   mesh::Topology topo(64);
   mesh::Nic nic(engine, topo, mesh::NicParams{});
-  nic.set_deliver([](const mesh::Message&, Cycle) {});
+  nic.set_deliver([](void*, const mesh::Message&, Cycle) {}, nullptr);
   mesh::Message msg;
   msg.kind = mesh::MsgKind::kReadReq;
   msg.src = 0;

@@ -1,13 +1,12 @@
 #include "cache/coalescing_buffer.hpp"
 
-#include <algorithm>
-
 namespace lrc::cache {
 
 std::optional<CoalescingBuffer::Entry> CoalescingBuffer::add(LineId line,
                                                              WordMask words) {
   ++stats_.writes;
-  for (auto& e : fifo_) {
+  for (unsigned i = 0; i < count_; ++i) {
+    Entry& e = ring_[pos(i)];
     if (e.line == line) {
       e.words |= words;
       ++stats_.merges;
@@ -15,32 +14,40 @@ std::optional<CoalescingBuffer::Entry> CoalescingBuffer::add(LineId line,
     }
   }
   std::optional<Entry> victim;
-  if (fifo_.size() == capacity_) {
-    victim = fifo_.front();
-    fifo_.pop_front();
+  if (count_ == capacity_) {
+    victim = ring_[head_];
+    head_ = pos(1);
+    --count_;
     ++stats_.flushes;
     ++stats_.capacity_flushes;
   }
-  fifo_.push_back(Entry{line, words});
+  ring_[pos(count_)] = Entry{line, words};
+  ++count_;
   return victim;
 }
 
 std::optional<CoalescingBuffer::Entry> CoalescingBuffer::pop() {
-  if (fifo_.empty()) return std::nullopt;
-  Entry e = fifo_.front();
-  fifo_.pop_front();
+  if (count_ == 0) return std::nullopt;
+  Entry e = ring_[head_];
+  head_ = pos(1);
+  --count_;
   ++stats_.flushes;
   return e;
 }
 
 std::optional<CoalescingBuffer::Entry> CoalescingBuffer::pop_line(LineId line) {
-  auto it = std::find_if(fifo_.begin(), fifo_.end(),
-                         [line](const Entry& e) { return e.line == line; });
-  if (it == fifo_.end()) return std::nullopt;
-  Entry e = *it;
-  fifo_.erase(it);
-  ++stats_.flushes;
-  return e;
+  for (unsigned i = 0; i < count_; ++i) {
+    if (ring_[pos(i)].line != line) continue;
+    Entry e = ring_[pos(i)];
+    // Close the gap toward the tail; FIFO order of survivors is preserved.
+    for (unsigned k = i; k + 1 < count_; ++k) {
+      ring_[pos(k)] = ring_[pos(k + 1)];
+    }
+    --count_;
+    ++stats_.flushes;
+    return e;
+  }
+  return std::nullopt;
 }
 
 }  // namespace lrc::cache

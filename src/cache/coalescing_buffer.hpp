@@ -4,10 +4,14 @@
 // The LRC protocols use it to get word-granularity memory updates without
 // per-word dirty bits in the cache, and to overlap memory updates with
 // computation.
+//
+// Storage is a fixed ring sized at construction — the buffer sits on the
+// write-through hot path (every committed write under ERC-WT/LRC scans
+// it), so it never touches the heap after the constructor, unlike the
+// std::deque it replaces.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -24,7 +28,8 @@ struct CoalescingStats {
 
 class CoalescingBuffer {
  public:
-  explicit CoalescingBuffer(unsigned entries) : capacity_(entries) {}
+  explicit CoalescingBuffer(unsigned entries)
+      : capacity_(entries), ring_(entries) {}
 
   struct Entry {
     LineId line = 0;
@@ -32,8 +37,8 @@ class CoalescingBuffer {
   };
 
   unsigned capacity() const { return capacity_; }
-  unsigned size() const { return static_cast<unsigned>(fifo_.size()); }
-  bool empty() const { return fifo_.empty(); }
+  unsigned size() const { return count_; }
+  bool empty() const { return count_ == 0; }
 
   /// Records a write of `words` within `line`. If the buffer was full and
   /// no entry matched, the oldest entry is popped and returned; the caller
@@ -51,8 +56,17 @@ class CoalescingBuffer {
   const CoalescingStats& stats() const { return stats_; }
 
  private:
+  // Physical slot of the i-th oldest entry.
+  unsigned pos(unsigned i) const {
+    unsigned p = head_ + i;
+    if (p >= capacity_) p -= capacity_;
+    return p;
+  }
+
   unsigned capacity_;
-  std::deque<Entry> fifo_;
+  std::vector<Entry> ring_;  // fixed at construction; FIFO from head_
+  unsigned head_ = 0;
+  unsigned count_ = 0;
   CoalescingStats stats_;
 };
 

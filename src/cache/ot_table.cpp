@@ -2,16 +2,6 @@
 
 namespace lrc::cache {
 
-OtEntry& OtTable::get_or_create(LineId line, bool* created) {
-  auto [it, inserted] = map_.try_emplace(line);
-  if (inserted) {
-    it->second.line = line;
-    ++stats_.allocated;
-  } else {
-    ++stats_.merged;
-  }
-  if (created != nullptr) *created = inserted;
-  return it->second;
-}
+// OtTable is header-only; this translation unit anchors it in the library.
 
 }  // namespace lrc::cache

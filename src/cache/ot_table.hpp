@@ -2,12 +2,21 @@
 // (one per in-flight coherence transaction at a node). Requests to the same
 // line merge into a single entry; the release operation waits for the table
 // to drain ("all outstanding request data structures have been deallocated").
+//
+// The table sits on the per-access hot path (every miss allocates, every
+// reply looks up) and empties completely at each release, so it is built on
+// a flat-hash index with backward-shift erase (no tombstone accumulation
+// under drain churn) over slab storage whose free list recycles entries —
+// once warm, the allocate/complete/drain cycle touches the heap never.
+// Entry addresses are stable: protocol code holds an OtEntry* across nested
+// operations that may create other entries (e.g. LRC-ext flushing delayed
+// writes from inside a fill).
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "sim/types.hpp"
+#include "util/flat_hash.hpp"
 
 namespace lrc::cache {
 
@@ -31,30 +40,53 @@ struct OtStats {
 
 class OtTable {
  public:
-  bool empty() const { return map_.empty(); }
-  std::size_t size() const { return map_.size(); }
+  bool empty() const { return index_.empty(); }
+  std::size_t size() const { return index_.size(); }
 
   OtEntry* find(LineId line) {
-    auto it = map_.find(line);
-    return it == map_.end() ? nullptr : &it->second;
+    const std::uint32_t* slot = index_.find(line);
+    return slot == nullptr ? nullptr : &slabs_[*slot];
   }
 
   /// Returns the entry for `line`, creating it if needed. `created` tells
-  /// the caller whether a new transaction must be initiated.
-  OtEntry& get_or_create(LineId line, bool* created);
+  /// the caller whether a new transaction must be initiated. The reference
+  /// is stable until the entry is erased.
+  OtEntry& get_or_create(LineId line, bool* created) {
+    bool inserted = false;
+    std::uint32_t& slot = index_.get_or_create(line, &inserted);
+    if (inserted) {
+      slot = slabs_.acquire();  // reset to OtEntry{} by the slab store
+      slabs_[slot].line = line;
+      ++stats_.allocated;
+    } else {
+      ++stats_.merged;
+    }
+    if (created != nullptr) *created = inserted;
+    return slabs_[slot];
+  }
 
-  void erase(LineId line) { map_.erase(line); }
+  void erase(LineId line) {
+    const std::uint32_t* slot = index_.find(line);
+    if (slot == nullptr) return;
+    slabs_.release(*slot);
+    index_.erase(line);
+  }
 
   template <typename Fn>
   void for_each(Fn&& fn) {
-    for (auto& [line, e] : map_) fn(e);
+    index_.for_each([&](LineId, std::uint32_t slot) { fn(slabs_[slot]); });
   }
 
   OtStats& stats() { return stats_; }
   const OtStats& stats() const { return stats_; }
 
+  /// High-water mark of live entries ever slab-allocated; a drained table
+  /// that refills reuses slots instead of growing this (tested).
+  std::size_t slots_allocated() const { return slabs_.allocated(); }
+
  private:
-  std::unordered_map<LineId, OtEntry> map_;
+  util::FlatMap<std::uint32_t> index_;  // line -> slab slot
+  util::StableSlabs<OtEntry> slabs_;
   OtStats stats_;
 };
 

@@ -4,19 +4,6 @@
 
 namespace lrc::cache {
 
-unsigned WriteBuffer::occupied() const {
-  unsigned n = 0;
-  for (const auto& s : slots_) n += s.valid ? 1 : 0;
-  return n;
-}
-
-int WriteBuffer::find(LineId line) const {
-  for (unsigned i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].valid && slots_[i].line == line) return static_cast<int>(i);
-  }
-  return -1;
-}
-
 int WriteBuffer::push(LineId line, WordMask words) {
   if (int i = find(line); i >= 0) {
     slots_[static_cast<unsigned>(i)].words |= words;
@@ -26,6 +13,7 @@ int WriteBuffer::push(LineId line, WordMask words) {
   for (unsigned i = 0; i < slots_.size(); ++i) {
     if (!slots_[i].valid) {
       slots_[i] = Entry{line, words, true};
+      ++occupied_;
       ++stats_.enqueued;
       return static_cast<int>(i);
     }
@@ -37,8 +25,10 @@ int WriteBuffer::push(LineId line, WordMask words) {
 WriteBuffer::Entry WriteBuffer::retire(int idx) {
   auto& s = slots_[static_cast<unsigned>(idx)];
   assert(s.valid);
+  assert(occupied_ > 0);
   Entry out = s;
   s = Entry{};
+  --occupied_;
   return out;
 }
 

@@ -22,12 +22,19 @@ class WriteBuffer {
   explicit WriteBuffer(unsigned entries) : slots_(entries) {}
 
   unsigned capacity() const { return static_cast<unsigned>(slots_.size()); }
-  unsigned occupied() const;
-  bool full() const { return occupied() == capacity(); }
-  bool empty() const { return occupied() == 0; }
+  // Occupancy is maintained by push/retire; full()/empty() sit on the
+  // release-drain and write hot paths and must not rescan the slots.
+  unsigned occupied() const { return occupied_; }
+  bool full() const { return occupied_ == capacity(); }
+  bool empty() const { return occupied_ == 0; }
 
   /// Index of the slot holding `line`, or -1.
-  int find(LineId line) const;
+  int find(LineId line) const {
+    for (unsigned i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].valid && slots_[i].line == line) return static_cast<int>(i);
+    }
+    return -1;
+  }
 
   /// Adds `words` of `line` to the buffer. Coalesces into an existing slot
   /// when possible; otherwise claims a free slot. Returns the slot index,
@@ -49,6 +56,7 @@ class WriteBuffer {
 
  private:
   std::vector<Entry> slots_;
+  unsigned occupied_ = 0;
   WriteBufferStats stats_;
 };
 

@@ -234,14 +234,18 @@ void Checker::check_entry(LineId line, const proto::DirEntry& e) {
     // Write-notice countdowns: join order implies remaining counts are
     // non-decreasing front-to-back, and none exceeds the outstanding total.
     unsigned prev = 0;
-    for (const auto& c : e.collections) {
-      if (c.remaining == 0) fail("collection with zero remaining");
-      if (c.remaining < prev) fail("collection countdowns out of join order");
-      if (c.remaining > e.notices_outstanding) {
-        fail("collection remaining exceeds notices outstanding");
-      }
-      prev = c.remaining;
-    }
+    const auto& col_pool = base_->directory().col_pool();
+    e.collections.for_each(
+        col_pool, [&](const proto::DirEntry::NoticeCollection& c) {
+          if (c.remaining == 0) fail("collection with zero remaining");
+          if (c.remaining < prev) {
+            fail("collection countdowns out of join order");
+          }
+          if (c.remaining > e.notices_outstanding) {
+            fail("collection remaining exceeds notices outstanding");
+          }
+          prev = c.remaining;
+        });
     if (!e.collections.empty() && e.notices_outstanding == 0) {
       fail("collections open with no notices outstanding");
     }

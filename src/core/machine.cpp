@@ -23,7 +23,10 @@ Machine::Machine(const SystemParams& params, ProtocolKind protocol)
   sync_ = std::make_unique<proto::SyncManager>(*this);
   protocol_ = proto::make_protocol(protocol, *this);
   nic_.set_deliver(
-      [this](const mesh::Message& msg, Cycle t) { dispatch(msg, t); });
+      [](void* ctx, const mesh::Message& msg, Cycle t) {
+        static_cast<Machine*>(ctx)->dispatch(msg, t);
+      },
+      this);
   cpus_.reserve(params.nprocs);
   for (NodeId p = 0; p < params.nprocs; ++p) {
     cpus_.push_back(std::make_unique<Cpu>(*this, p));

@@ -1,5 +1,6 @@
 #include "mem/address_map.hpp"
 
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -20,9 +21,15 @@ AddressMap::AddressMap(unsigned nodes, std::uint32_t line_bytes,
     throw std::invalid_argument(
         "AddressMap: line/page sizes must be powers of two, page >= line");
   }
+  if (line_bytes < kWordBytes) {
+    throw std::invalid_argument("AddressMap: line shorter than a word");
+  }
   if (line_bytes / kWordBytes > 64) {
     throw std::invalid_argument("AddressMap: line too long for 64-bit masks");
   }
+  line_shift_ = static_cast<unsigned>(std::countr_zero(line_bytes));
+  page_shift_ = static_cast<unsigned>(std::countr_zero(page_bytes));
+  line_mask_ = static_cast<Addr>(line_bytes) - 1;
 }
 
 WordMask AddressMap::word_mask(Addr a, std::uint32_t bytes) const {
@@ -30,24 +37,23 @@ WordMask AddressMap::word_mask(Addr a, std::uint32_t bytes) const {
   const unsigned last = word_in_line(a + bytes - 1);
   assert(line_of(a) == line_of(a + bytes - 1) &&
          "access must not straddle a cache line");
-  WordMask m = 0;
-  for (unsigned w = first; w <= last; ++w) m |= WordMask{1} << w;
-  return m;
+  const unsigned count = last - first + 1;
+  const WordMask span =
+      count >= 64 ? ~WordMask{0} : (WordMask{1} << count) - 1;
+  return span << first;
 }
 
-NodeId AddressMap::home_of(Addr a, NodeId toucher) {
-  const std::uint64_t page = page_of(a);
-  if (policy_ == HomePolicy::kRoundRobin) {
-    return static_cast<NodeId>(page % nodes_);
+NodeId AddressMap::resolve_home(std::uint64_t page, NodeId toucher) {
+  if (page >= page_home_.size()) {
+    page_home_.resize(page + 1, kInvalidNode);
   }
-  if (page >= first_touch_.size()) {
-    first_touch_.resize(page + 1, kInvalidNode);
+  NodeId& home = page_home_[page];
+  if (home == kInvalidNode) {
+    home = (policy_ == HomePolicy::kFirstTouch && toucher != kInvalidNode)
+               ? toucher
+               : static_cast<NodeId>(page % nodes_);
   }
-  if (first_touch_[page] == kInvalidNode) {
-    first_touch_[page] =
-        (toucher == kInvalidNode) ? static_cast<NodeId>(page % nodes_) : toucher;
-  }
-  return first_touch_[page];
+  return home;
 }
 
 }  // namespace lrc::mem

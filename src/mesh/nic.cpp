@@ -36,7 +36,7 @@ class Nic::Delivery final : public sim::Event {
  public:
   Delivery(Nic& nic, const Message& msg) : nic_(nic), msg_(msg) {}
 
-  void fire(Cycle t) override { nic_.deliver_(msg_, t); }
+  void fire(Cycle t) override { nic_.deliver(msg_, t); }
 
  private:
   Nic& nic_;
@@ -64,7 +64,7 @@ Cycle Nic::uncontended_latency(NodeId src, NodeId dst,
 
 void Nic::send(Cycle when, Message msg) {
   assert(msg.src < topo_.nodes() && msg.dst < topo_.nodes());
-  assert(deliver_ && "NIC delivery callback not installed");
+  assert(deliver_fn_ && "NIC delivery callback not installed");
 
   ++stats_.messages;
   ++stats_.per_kind[static_cast<std::size_t>(msg.kind)];
@@ -108,7 +108,7 @@ void Nic::arbitrate_sink(const Message& msg, Cycle t) {
   stats_.recv_contention += deliver_at - t;
   in_free_[msg.dst] = deliver_at + occupancy(msg);
   if (deliver_at == t) {
-    deliver_(msg, t);
+    deliver(msg, t);
   } else {
     engine_.schedule_make<Delivery>(deliver_at, *this, msg);
   }

@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "mesh/message.hpp"
@@ -40,12 +39,18 @@ struct NicStats {
 
 class Nic {
  public:
-  using Deliver = std::function<void(const Message&, Cycle when)>;
+  /// Delivery callback: plain function pointer + context, so the
+  /// per-message call is one indirect jump (this is the hottest edge in
+  /// the simulator — every delivered message crosses it).
+  using DeliverFn = void (*)(void* ctx, const Message&, Cycle when);
 
   Nic(sim::Engine& engine, const Topology& topo, NicParams params);
 
   /// Installs the delivery callback (the machine's dispatch routine).
-  void set_deliver(Deliver d) { deliver_ = std::move(d); }
+  void set_deliver(DeliverFn fn, void* ctx) {
+    deliver_fn_ = fn;
+    deliver_ctx_ = ctx;
+  }
 
   /// Sends `msg` no earlier than `when`; the delivery callback fires at the
   /// receiver once the message has traversed the mesh and won the receiving
@@ -76,10 +81,13 @@ class Nic {
   /// (immediately, or via a follow-up event if the endpoint is busy).
   void arbitrate_sink(const Message& msg, Cycle t);
 
+  void deliver(const Message& msg, Cycle t) { deliver_fn_(deliver_ctx_, msg, t); }
+
   sim::Engine& engine_;
   const Topology& topo_;
   NicParams params_;
-  Deliver deliver_;
+  DeliverFn deliver_fn_ = nullptr;
+  void* deliver_ctx_ = nullptr;
   std::vector<Cycle> out_free_;  // source-endpoint next-free time
   std::vector<Cycle> in_free_;   // sink-endpoint next-free time
   Arrival* pending_arrival_ = nullptr;  // batching candidate; see send()

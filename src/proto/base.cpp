@@ -5,19 +5,4 @@ namespace lrc::proto {
 ProtocolBase::ProtocolBase(core::Machine& m)
     : m_(m), sync_done_(m.nprocs(), 0) {}
 
-void ProtocolBase::send(Cycle t, mesh::MsgKind kind, NodeId src, NodeId dst,
-                        LineId line, std::uint32_t payload_bytes,
-                        std::uint64_t tag, WordMask words, NodeId requester) {
-  mesh::Message msg;
-  msg.kind = kind;
-  msg.src = src;
-  msg.dst = dst;
-  msg.line = line;
-  msg.payload_bytes = payload_bytes;
-  msg.tag = tag;
-  msg.words = words;
-  msg.requester = requester;
-  m_.nic().send(t, msg);
-}
-
 }  // namespace lrc::proto

@@ -36,10 +36,22 @@ class ProtocolBase : public Protocol {
     return m_.amap().word_mask(a, bytes);
   }
 
-  /// Builds and sends a message at time `t`.
+  /// Builds and sends a message at time `t`. Inline: this sits on the
+  /// per-message hot path of every protocol.
   void send(Cycle t, mesh::MsgKind kind, NodeId src, NodeId dst, LineId line,
             std::uint32_t payload_bytes = 0, std::uint64_t tag = 0,
-            WordMask words = 0, NodeId requester = kInvalidNode);
+            WordMask words = 0, NodeId requester = kInvalidNode) {
+    mesh::Message msg;
+    msg.kind = kind;
+    msg.src = src;
+    msg.dst = dst;
+    msg.line = line;
+    msg.payload_bytes = payload_bytes;
+    msg.tag = tag;
+    msg.words = words;
+    msg.requester = requester;
+    m_.nic().send(t, msg);
+  }
 
   /// Cost of moving a full line across the node bus (cache fill).
   Cycle bus_fill_cost() const {

@@ -379,7 +379,7 @@ Cycle Lrc::home_write_req(const Message& msg, Cycle start) {
   if (need_data) {
     const Cycle mem = dram_line(home, start, /*write=*/false);
     if (depends > 0) {
-      e.collections.push_back({writer, depends});
+      e.collections.push_back({writer, depends}, dir_.col_pool());
     } else {
       tag |= kTagAcked;
     }
@@ -387,7 +387,7 @@ Cycle Lrc::home_write_req(const Message& msg, Cycle start) {
          msg.line, line_bytes(), tag);
   } else {
     if (depends > 0) {
-      e.collections.push_back({writer, depends});
+      e.collections.push_back({writer, depends}, dir_.col_pool());
     } else {
       send(start + cost, MsgKind::kWriteAck, home, writer, msg.line, 0, tag);
     }
@@ -402,16 +402,12 @@ Cycle Lrc::home_notice_ack(const Message& msg, Cycle start) {
   assert(e.notices_outstanding > 0);
   --e.notices_outstanding;
   const std::uint64_t tag = e.state == DirState::kWeak ? kTagWeak : 0;
-  for (auto it = e.collections.begin(); it != e.collections.end();) {
-    if (--it->remaining == 0) {
-      send(start + cost, MsgKind::kWriteAck, home, it->writer, msg.line, 0,
-           tag);
-      if (tag & kTagWeak) e.notified |= proc_bit(it->writer);
-      it = e.collections.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  e.collections.erase_if(dir_.col_pool(), [&](DirEntry::NoticeCollection& c) {
+    if (--c.remaining != 0) return false;
+    send(start + cost, MsgKind::kWriteAck, home, c.writer, msg.line, 0, tag);
+    if (tag & kTagWeak) e.notified |= proc_bit(c.writer);
+    return true;
+  });
   return cost;
 }
 

@@ -242,9 +242,11 @@ void MsiBase::unbusy_and_replay(DirEntry& e, Cycle at) {
   e.pending_owner = kInvalidNode;
   e.pending_acks = 0;
   e.pending_mem_done = 0;
-  std::vector<Message> q;
-  q.swap(e.deferred);
-  for (const auto& msg : q) m_.redeliver(msg, at);
+  // redeliver() only schedules a RedeliverEvent (no reentrant dispatch), so
+  // the queue can be walked in place and then reclaimed.
+  e.deferred.for_each(dir_.msg_pool(),
+                      [&](const Message& msg) { m_.redeliver(msg, at); });
+  e.deferred.clear(dir_.msg_pool());
 }
 
 // ---- Message dispatch --------------------------------------------------------
@@ -286,7 +288,7 @@ Cycle MsiBase::home_read(const Message& msg, Cycle start) {
   const NodeId req = msg.src;
   DirEntry& e = dir_.entry(msg.line);
   if (e.busy) {
-    e.deferred.push_back(msg);
+    e.deferred.push_back(msg, dir_.msg_pool());
     return 1;
   }
   switch (e.state) {
@@ -332,7 +334,7 @@ Cycle MsiBase::home_write(const Message& msg, Cycle start) {
   const NodeId req = msg.src;
   DirEntry& e = dir_.entry(msg.line);
   if (e.busy) {
-    e.deferred.push_back(msg);
+    e.deferred.push_back(msg, dir_.msg_pool());
     return 1;
   }
   // An upgrade only remains an upgrade if the requester still holds a copy.

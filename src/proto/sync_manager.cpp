@@ -16,18 +16,13 @@ NodeId SyncManager::home_of(SyncId s) const {
   return static_cast<NodeId>(s % m_.nprocs());
 }
 
-bool SyncManager::owns(MsgKind k) {
-  switch (k) {
-    case MsgKind::kLockReq:
-    case MsgKind::kLockGrant:
-    case MsgKind::kLockRel:
-    case MsgKind::kBarrierArrive:
-    case MsgKind::kBarrierRelease:
-      return true;
-    default:
-      return false;
-  }
-}
+// owns() relies on the sync kinds being the contiguous tail of MsgKind:
+// kLockReq, kLockGrant, kLockRel, kBarrierArrive, kBarrierRelease, kCount.
+static_assert(static_cast<int>(MsgKind::kCount) -
+                      static_cast<int>(MsgKind::kLockReq) == 5 &&
+              static_cast<int>(MsgKind::kBarrierRelease) -
+                      static_cast<int>(MsgKind::kLockReq) == 4,
+              "sync kinds must stay the contiguous tail of MsgKind");
 
 void SyncManager::request_lock(NodeId p, SyncId s, Cycle t) {
   Message msg;

@@ -40,8 +40,11 @@ class SyncManager {
   void release_lock(NodeId p, SyncId s, Cycle t);
   void barrier_arrive(NodeId p, SyncId s, Cycle t);
 
-  /// True for message kinds this service owns.
-  static bool owns(mesh::MsgKind k);
+  /// True for message kinds this service owns. The synchronization kinds
+  /// form the contiguous tail of MsgKind (kLockReq..kBarrierRelease), so
+  /// the per-delivery ownership test is a single compare (static_asserted
+  /// in sync_manager.cpp).
+  static bool owns(mesh::MsgKind k) { return k >= mesh::MsgKind::kLockReq; }
 
   /// Event-context processing; returns protocol-processor cost.
   Cycle handle(const mesh::Message& msg, Cycle start);

@@ -2,26 +2,6 @@
 
 #include <algorithm>
 
-// The freelist recycles raw storage across event types; poison recycled
-// slots under AddressSanitizer so stale-event pointer bugs trap instead of
-// silently reading the next occupant.
-#if defined(__SANITIZE_ADDRESS__)
-#define LRC_ENGINE_ASAN 1
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer)
-#define LRC_ENGINE_ASAN 1
-#endif
-#endif
-
-#ifdef LRC_ENGINE_ASAN
-#include <sanitizer/asan_interface.h>
-#define LRC_POISON(p, n) __asan_poison_memory_region((p), (n))
-#define LRC_UNPOISON(p, n) __asan_unpoison_memory_region((p), (n))
-#else
-#define LRC_POISON(p, n) (void)0
-#define LRC_UNPOISON(p, n) (void)0
-#endif
-
 namespace lrc::sim {
 
 namespace {
@@ -93,6 +73,7 @@ void Engine::bucket_append(Event* ev) {
     b.tail->next_ = ev;
   } else {
     b.head = ev;
+    occ_set(ev->when_ & kBucketMask);
   }
   b.tail = ev;
 }
@@ -114,24 +95,58 @@ void Engine::migrate_overflow() {
 
 Event* Engine::pop_min() {
   if (pending_count_ == 0) return nullptr;
-  if (ring_count_ == 0) {
-    // Nothing inside the horizon: jump the scan front to the earliest
-    // overflow event instead of walking empty buckets.
-    base_ = overflow_.front()->when();
-    migrate_overflow();
-  }
   for (;;) {
+    if (ring_count_ == 0) {
+      // Nothing inside the horizon: jump the scan front to the earliest
+      // overflow event instead of walking empty buckets. Common case
+      // (sparse far-future schedules): that event is the only one within
+      // its lap — pop it straight off the heap. Identical outcome to
+      // migrating: the migration would move exactly this event, and the
+      // bucket pop would return it immediately.
+      Event* front = overflow_.front();
+      const std::size_t n = overflow_.size();
+      // Smallest `when` among the rest = min over the heap root's children.
+      Cycle second = front->when() + kBuckets;  // sentinel: nothing else
+      if (n > 1) second = overflow_[1]->when();
+      if (n > 2 && overflow_[2]->when() < second) second = overflow_[2]->when();
+      if (second - front->when() >= kBuckets) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), OverflowAfter{});
+        overflow_.pop_back();
+        base_ = front->when();
+        --pending_count_;
+        return front;
+      }
+      base_ = front->when();
+      migrate_overflow();
+    }
     Bucket& b = ring_[base_ & kBucketMask];
     if (b.head != nullptr) {
       Event* ev = b.head;
       b.head = ev->next_;
-      if (b.head == nullptr) b.tail = nullptr;
+      if (b.head == nullptr) {
+        b.tail = nullptr;
+        occ_clear(base_ & kBucketMask);
+      }
       --ring_count_;
       --pending_count_;
       return ev;
     }
-    ++base_;
-    migrate_overflow();
+    // Current bucket empty: jump the scan front to the next occupied
+    // bucket, stopping at the overflow trigger — the first base_ value
+    // that brings the earliest overflow event inside the horizon — so
+    // migration happens at exactly the same scan position as a
+    // one-bucket-at-a-time advance would make it (bucket seq order, and
+    // therefore pop order, is identical).
+    const Cycle next = next_occupied(base_);
+    if (!overflow_.empty()) {
+      const Cycle trigger = overflow_.front()->when() - (kBuckets - 1);
+      if (trigger <= next) {
+        base_ = trigger;
+        migrate_overflow();
+        continue;
+      }
+    }
+    base_ = next;
   }
 }
 
@@ -175,42 +190,19 @@ void Engine::release(Event* ev) {
   }
 }
 
-void* Engine::pool_alloc(std::size_t bytes, std::uint8_t& slot_out) {
-  for (unsigned c = 0; c < kSlotClasses; ++c) {
-    if (bytes > kSlotSizes[c]) continue;
-    slot_out = static_cast<std::uint8_t>(c);
-    ++stats_.pool_events;
-    if (free_[c] == nullptr) {
-      const std::size_t slot = kSlotSizes[c];
-      Slab slab{std::make_unique<std::byte[]>(slot * kSlotsPerSlab),
-                slot * kSlotsPerSlab};
-      std::byte* base = slab.mem.get();
-      slabs_.push_back(std::move(slab));
-      // Chain in address order (LIFO reuse keeps recently-fired slots hot).
-      for (std::size_t i = kSlotsPerSlab; i-- > 0;) {
-        auto* node = reinterpret_cast<FreeNode*>(base + i * slot);
-        node->next = free_[c];
-        free_[c] = node;
-        LRC_POISON(base + i * slot + sizeof(FreeNode),
-                   slot - sizeof(FreeNode));
-      }
-    }
-    FreeNode* n = free_[c];
-    free_[c] = n->next;
-    LRC_UNPOISON(n, kSlotSizes[c]);
-    return n;
+void Engine::refill_pool(unsigned c) {
+  const std::size_t slot = kSlotSizes[c];
+  Slab slab{std::make_unique<std::byte[]>(slot * kSlotsPerSlab),
+            slot * kSlotsPerSlab};
+  std::byte* base = slab.mem.get();
+  slabs_.push_back(std::move(slab));
+  // Chain in address order (LIFO reuse keeps recently-fired slots hot).
+  for (std::size_t i = kSlotsPerSlab; i-- > 0;) {
+    auto* node = reinterpret_cast<FreeNode*>(base + i * slot);
+    node->next = free_[c];
+    free_[c] = node;
+    LRC_POISON(base + i * slot + sizeof(FreeNode), slot - sizeof(FreeNode));
   }
-  slot_out = kHeapSlot;
-  ++stats_.heap_events;
-  return ::operator new(bytes);
-}
-
-void Engine::pool_free(void* mem, std::uint8_t slot) {
-  auto* n = reinterpret_cast<FreeNode*>(mem);
-  n->next = free_[slot];
-  free_[slot] = n;
-  LRC_POISON(static_cast<std::byte*>(mem) + sizeof(FreeNode),
-             kSlotSizes[slot] - sizeof(FreeNode));
 }
 
 }  // namespace lrc::sim

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -25,6 +26,26 @@
 
 #include "sim/event.hpp"
 #include "sim/types.hpp"
+
+// The freelist recycles raw storage across event types; poison recycled
+// slots under AddressSanitizer so stale-event pointer bugs trap instead of
+// silently reading the next occupant.
+#if defined(__SANITIZE_ADDRESS__)
+#define LRC_ENGINE_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define LRC_ENGINE_ASAN 1
+#endif
+#endif
+
+#ifdef LRC_ENGINE_ASAN
+#include <sanitizer/asan_interface.h>
+#define LRC_POISON(p, n) __asan_poison_memory_region((p), (n))
+#define LRC_UNPOISON(p, n) __asan_unpoison_memory_region((p), (n))
+#else
+#define LRC_POISON(p, n) (void)0
+#define LRC_UNPOISON(p, n) (void)0
+#endif
 
 namespace lrc::sim {
 
@@ -141,8 +162,38 @@ class Engine {
     std::size_t bytes;
   };
 
-  void* pool_alloc(std::size_t bytes, std::uint8_t& slot_out);
-  void pool_free(void* mem, std::uint8_t slot);
+  /// Inline so the slot-class selection constant-folds at each
+  /// schedule_make call site (sizeof(T) is a compile-time constant).
+  void* pool_alloc(std::size_t bytes, std::uint8_t& slot_out) {
+    unsigned c;
+    if (bytes <= kSlotSizes[0]) {
+      c = 0;
+    } else if (bytes <= kSlotSizes[1]) {
+      c = 1;
+    } else if (bytes <= kSlotSizes[2]) {
+      c = 2;
+    } else {
+      slot_out = kHeapSlot;
+      ++stats_.heap_events;
+      return ::operator new(bytes);
+    }
+    slot_out = static_cast<std::uint8_t>(c);
+    ++stats_.pool_events;
+    if (free_[c] == nullptr) refill_pool(c);
+    FreeNode* n = free_[c];
+    free_[c] = n->next;
+    LRC_UNPOISON(n, kSlotSizes[c]);
+    return n;
+  }
+  void pool_free(void* mem, std::uint8_t slot) {
+    auto* n = reinterpret_cast<FreeNode*>(mem);
+    n->next = free_[slot];
+    free_[slot] = n;
+    LRC_POISON(static_cast<std::byte*>(mem) + sizeof(FreeNode),
+               kSlotSizes[slot] - sizeof(FreeNode));
+  }
+  /// Cold path: carves a new slab into freelist slots for class `c`.
+  void refill_pool(unsigned c);
 
   /// Destroys a fired (or abandoned) event according to its ownership.
   void release(Event* ev);
@@ -166,7 +217,41 @@ class Engine {
   /// Next event in (when, seq) order, or nullptr. Advances base_.
   Event* pop_min();
 
+  // ---- Bucket occupancy bitmap -------------------------------------------
+  // One bit per ring bucket lets pop_min jump a whole span of empty buckets
+  // with a couple of countr_zero scans instead of probing them one by one
+  // (the dominant cost when event times are sparse, e.g. memory latencies
+  // of tens of cycles between consecutive events).
+  static constexpr std::size_t kOccWords = kBuckets / 64;
+
+  void occ_set(std::size_t bucket) {
+    occ_[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
+  }
+  void occ_clear(std::size_t bucket) {
+    occ_[bucket >> 6] &= ~(std::uint64_t{1} << (bucket & 63));
+  }
+  /// Absolute cycle of the first non-empty bucket after `from` (exclusive).
+  /// Requires ring_count_ > 0.
+  Cycle next_occupied(Cycle from) const {
+    const std::size_t start = (from + 1) & kBucketMask;
+    std::size_t w = start >> 6;
+    std::uint64_t word = occ_[w] & (~std::uint64_t{0} << (start & 63));
+    for (;;) {
+      if (word != 0) {
+        const std::size_t pos =
+            (w << 6) | static_cast<std::size_t>(std::countr_zero(word));
+        const Cycle delta =
+            static_cast<Cycle>((pos - (from & kBucketMask)) & kBucketMask);
+        assert(delta != 0 && "current bucket must be empty");
+        return from + delta;
+      }
+      w = (w + 1) & (kOccWords - 1);
+      word = occ_[w];
+    }
+  }
+
   std::array<Bucket, kBuckets> ring_{};
+  std::array<std::uint64_t, kOccWords> occ_{};
   std::size_t ring_count_ = 0;
   std::vector<Event*> overflow_;  // min-heap on (when, seq)
   Cycle base_ = 0;                // scan front: all events < base_ fired

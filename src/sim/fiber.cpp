@@ -1,23 +1,47 @@
 #include "sim/fiber.hpp"
 
 #include <cassert>
+#include <cstdint>
 #include <cstdlib>
 #include <stdexcept>
-
-// AddressSanitizer must be told about stack switches, or its shadow-stack
-// bookkeeping misattributes frames and reports false positives. The
-// annotations below bracket every swapcontext in resume()/yield().
-#if defined(__SANITIZE_ADDRESS__)
-#define LRC_FIBER_ASAN 1
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer)
-#define LRC_FIBER_ASAN 1
-#endif
-#endif
 
 #ifdef LRC_FIBER_ASAN
 #include <sanitizer/common_interface_defs.h>
 #endif
+
+#ifdef LRC_FIBER_FAST_SWITCH
+// lrc_fiber_switch(save_sp, load_sp): pushes the System V callee-saved
+// registers, stores rsp to *save_sp, installs load_sp, pops the registers
+// and returns — on the *other* stack. Floating-point control state (mxcsr,
+// x87 cw) is deliberately not saved: the simulator never changes it, and
+// glibc's swapcontext additionally makes a sigprocmask syscall per switch,
+// which is exactly the cost this path removes.
+extern "C" void lrc_fiber_switch(void** save_sp, void* load_sp);
+
+asm(R"(
+.text
+.align 16
+.globl lrc_fiber_switch
+.type lrc_fiber_switch, @function
+lrc_fiber_switch:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  movq %rsp, (%rdi)
+  movq %rsi, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  ret
+.size lrc_fiber_switch, .-lrc_fiber_switch
+)");
+#endif  // LRC_FIBER_FAST_SWITCH
 
 namespace lrc::sim {
 
@@ -27,6 +51,56 @@ namespace {
 // per-thread state.
 thread_local Fiber* g_current = nullptr;
 }  // namespace
+
+#ifdef LRC_FIBER_FAST_SWITCH
+
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
+    : fn_(std::move(fn)), stack_(stack_bytes) {
+  // Build an initial frame so the first lrc_fiber_switch "returns" into
+  // trampoline(). Layout, from the (16-aligned) stack top downward:
+  //   [top-16]  return address  -> trampoline
+  //   [top-24 .. top-64]  rbp, rbx, r12..r15 slots (values don't matter)
+  // The return-address slot sits at a 16-byte boundary so that after the
+  // ret pops it, rsp % 16 == 8 — exactly the System V alignment a function
+  // sees on entry via call.
+  auto top = reinterpret_cast<std::uintptr_t>(stack_.data() + stack_.size());
+  top &= ~std::uintptr_t{15};
+  auto* frame = reinterpret_cast<void**>(top - 16);
+  *frame = reinterpret_cast<void*>(&Fiber::trampoline);
+  for (int i = 1; i <= 6; ++i) frame[-i] = nullptr;  // popped register slots
+  ctx_sp_ = frame - 6;
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::trampoline() {
+  Fiber* self = g_current;
+  assert(self != nullptr);
+  self->fn_();
+  self->finished_ = true;
+  // Dying switch back to the caller; never returns (ctx_sp_ is dead).
+  lrc_fiber_switch(&self->ctx_sp_, self->caller_sp_);
+  std::abort();  // unreachable
+}
+
+void Fiber::resume() {
+  assert(g_current == nullptr && "resume() must be called from main context");
+  assert(!finished_);
+  g_current = this;
+  started_ = true;
+  lrc_fiber_switch(&caller_sp_, ctx_sp_);
+  g_current = nullptr;
+}
+
+void Fiber::yield() {
+  Fiber* self = g_current;
+  assert(self != nullptr && "yield() must be called from inside a fiber");
+  g_current = nullptr;
+  lrc_fiber_switch(&self->ctx_sp_, self->caller_sp_);
+  g_current = self;
+}
+
+#else  // ucontext fallback (non-x86-64, or AddressSanitizer builds)
 
 Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
     : fn_(std::move(fn)), stack_(stack_bytes) {
@@ -98,6 +172,8 @@ void Fiber::yield() {
 #endif
   g_current = self;
 }
+
+#endif  // LRC_FIBER_FAST_SWITCH
 
 Fiber* Fiber::current() { return g_current; }
 

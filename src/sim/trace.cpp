@@ -10,8 +10,7 @@ void Trace::enable(std::size_t capacity) {
   entries_.reserve(capacity < 4096 ? capacity : 4096);
 }
 
-void Trace::record(const mesh::Message& msg, Cycle when) {
-  if (!enabled_) return;
+void Trace::record_slow(const mesh::Message& msg, Cycle when) {
   if (entries_.size() == capacity_) {
     // Keep the most recent window: drop the older half in one move.
     entries_.erase(entries_.begin(),

@@ -29,7 +29,11 @@ class Trace {
   void disable() { enabled_ = false; }
   bool enabled() const { return enabled_; }
 
-  void record(const mesh::Message& msg, Cycle when);
+  /// Called for every delivered message; the disabled path must stay an
+  /// inline branch (tracing is off in normal runs).
+  void record(const mesh::Message& msg, Cycle when) {
+    if (enabled_) record_slow(msg, when);
+  }
 
   const std::vector<Entry>& entries() const { return entries_; }
   std::size_t dropped() const { return dropped_; }
@@ -44,6 +48,8 @@ class Trace {
   std::string dump(std::size_t max_entries = 64) const;
 
  private:
+  void record_slow(const mesh::Message& msg, Cycle when);
+
   bool enabled_ = false;
   std::size_t capacity_ = 0;
   std::size_t dropped_ = 0;

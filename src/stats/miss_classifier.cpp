@@ -1,5 +1,6 @@
 #include "stats/miss_classifier.hpp"
 
+#include <bit>
 #include <cassert>
 
 namespace lrc::stats {
@@ -14,25 +15,30 @@ MissClassifier::MissClassifier(unsigned nprocs, unsigned words_per_line)
 
 void MissClassifier::on_write_committed(NodeId writer, LineId line,
                                         WordMask words) {
-  auto& info = words_[line];
-  if (info.empty()) info.resize(words_per_line_);
+  bool created = false;
+  std::uint32_t& block = word_index_.get_or_create(line, &created);
+  if (created) {
+    block = static_cast<std::uint32_t>(word_info_.size() / words_per_line_);
+    word_info_.resize(word_info_.size() + words_per_line_);
+  }
+  WordInfo* info = word_info_.data() +
+                   static_cast<std::size_t>(block) * words_per_line_;
   ++stamp_;
-  for (unsigned w = 0; w < words_per_line_; ++w) {
-    if (words & (WordMask{1} << w)) {
-      info[w].writer = writer;
-      info[w].stamp = stamp_;
-    }
+  for (WordMask m = words; m != 0; m &= m - 1) {
+    const unsigned w = static_cast<unsigned>(std::countr_zero(m));
+    info[w].writer = writer;
+    info[w].stamp = stamp_;
   }
 }
 
 void MissClassifier::on_fill(NodeId proc, LineId line) {
-  auto& h = hist_[proc][line];
+  LineHist& h = hist_[proc].get_or_create(line);
   h.status = LineHist::Status::kCached;
   h.fill_stamp = stamp_;
 }
 
 void MissClassifier::on_copy_lost(NodeId proc, LineId line, bool coherence) {
-  auto& h = hist_[proc][line];
+  LineHist& h = hist_[proc].get_or_create(line);
   h.status = coherence ? LineHist::Status::kLostInval
                        : LineHist::Status::kLostEvict;
 }
@@ -43,25 +49,25 @@ MissClass MissClassifier::classify(NodeId proc, LineId line, unsigned word,
   if (upgrade) {
     c = MissClass::kWrite;
   } else {
-    const auto it = hist_[proc].find(line);
-    if (it == hist_[proc].end() ||
-        it->second.status == LineHist::Status::kNever) {
+    const LineHist* h = hist_[proc].find(line);
+    if (h == nullptr || h->status == LineHist::Status::kNever) {
       c = MissClass::kCold;
     } else {
-      const LineHist& h = it->second;
       // If the line is (status-wise) still kCached we are classifying a miss
       // on a line the protocol believes resident; treat as cold-equivalent
       // bookkeeping error — should not happen, assert in debug.
-      assert(h.status != LineHist::Status::kCached &&
+      assert(h->status != LineHist::Status::kCached &&
              "miss on a line recorded as cached");
-      const auto wit = words_.find(line);
+      const std::uint32_t* block = word_index_.find(line);
       bool word_written = false;   // the missed word, by another proc
       bool line_written = false;   // any word of the line, by another proc
-      if (wit != words_.end()) {
-        const auto& info = wit->second;
+      if (block != nullptr) {
+        const WordInfo* info =
+            word_info_.data() +
+            static_cast<std::size_t>(*block) * words_per_line_;
         for (unsigned w = 0; w < words_per_line_; ++w) {
           if (info[w].writer != kInvalidNode && info[w].writer != proc &&
-              info[w].stamp > h.fill_stamp) {
+              info[w].stamp > h->fill_stamp) {
             line_written = true;
             if (w == word) word_written = true;
           }
@@ -75,8 +81,8 @@ MissClass MissClassifier::classify(NodeId proc, LineId line, unsigned word,
         // No foreign write since the copy died: a replacement victim misses
         // again purely due to capacity/conflict. An invalidation with no
         // foreign write is counted as false sharing (the notice was useless).
-        c = (h.status == LineHist::Status::kLostEvict) ? MissClass::kEviction
-                                                       : MissClass::kFalseSharing;
+        c = (h->status == LineHist::Status::kLostEvict) ? MissClass::kEviction
+                                                        : MissClass::kFalseSharing;
       }
     }
   }

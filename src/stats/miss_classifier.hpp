@@ -13,10 +13,10 @@
 #include <array>
 #include <cstdint>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hpp"
+#include "util/flat_hash.hpp"
 
 namespace lrc::stats {
 
@@ -89,11 +89,18 @@ class MissClassifier {
     std::uint64_t fill_stamp = 0;
   };
 
+  // on_write_committed runs for every committed write and classify for
+  // every miss, so per-line state lives in flat-hash maps: word stamps are
+  // blocks of `words_per_line_` entries in one contiguous array (indexed by
+  // a line -> block table), and per-processor line history is stored
+  // directly in the map slots (LineHist is small and never referenced
+  // across another map operation).
   unsigned nprocs_;
   unsigned words_per_line_;
   std::uint64_t stamp_ = 0;
-  std::unordered_map<LineId, std::vector<WordInfo>> words_;
-  std::vector<std::unordered_map<LineId, LineHist>> hist_;  // per proc
+  util::FlatMap<std::uint32_t> word_index_;  // line -> block number
+  std::vector<WordInfo> word_info_;  // block b at [b*wpl, (b+1)*wpl)
+  std::vector<util::FlatMap<LineHist>> hist_;  // per proc
   std::vector<MissCounts> per_proc_;
 };
 

@@ -1,0 +1,220 @@
+// Open-addressed hash containers for the memory-system hot path.
+//
+// The per-access path (directory lookup at the home, OT-table lookup at the
+// requester) previously walked `std::unordered_map`: a hash, a bucket-array
+// load, a pointer chase to a separately-allocated node, and an allocation on
+// every insert. `FlatMap` replaces that with one power-of-two table of
+// {key, value} slots probed linearly — typically a single cache line touched
+// per lookup — and `StableSlabs` provides chunked, address-stable value
+// storage with a free list so steady-state insert/erase cycles (the OT table
+// drains completely at every release) allocate nothing.
+//
+// Design notes:
+//  * Keys are 64-bit line/page numbers; `kEmptyKey` (~0) is reserved as the
+//    empty-slot sentinel and asserted never to be inserted. Line numbers
+//    would need a 2^64-byte address space to collide with it.
+//  * Hash is Fibonacci multiplicative hashing: multiply by 2^64/phi and keep
+//    the top log2(capacity) bits. Line numbers are sequential-ish, which
+//    this spreads well; identity hashing would cluster whole pages into one
+//    probe run.
+//  * Erase uses backward-shift deletion instead of tombstones: subsequent
+//    probe-chain members are relocated into the hole. Tables that churn
+//    (the OT table empties at every release) therefore never degrade.
+//  * Values stored in the table must be trivially movable; protocol state
+//    that needs address stability (DirEntry, OtEntry — protocol code holds
+//    pointers across nested operations) lives in `StableSlabs` with the
+//    table mapping key -> slab slot index.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace lrc::util {
+
+/// Open-addressed key->V map with 64-bit keys, linear probing, and
+/// backward-shift erase. V should be small and trivially copyable (slot
+/// relocation on insert-grow and erase copies it freely).
+template <typename V>
+class FlatMap {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+  FlatMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  V* find(std::uint64_t key) {
+    assert(key != kEmptyKey);
+    if (slots_.empty()) return nullptr;
+    for (std::size_t i = index_of(key);; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (s.key == key) return &s.value;
+      if (s.key == kEmptyKey) return nullptr;
+    }
+  }
+  const V* find(std::uint64_t key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  /// Returns the value for `key`, default-constructing it on first touch.
+  /// `created`, when non-null, reports whether the key was new.
+  V& get_or_create(std::uint64_t key, bool* created = nullptr) {
+    assert(key != kEmptyKey);
+    if (size_ >= grow_at_) grow();  // keeps load factor <= 7/8
+    for (std::size_t i = index_of(key);; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (s.key == key) {
+        if (created != nullptr) *created = false;
+        return s.value;
+      }
+      if (s.key == kEmptyKey) {
+        s.key = key;
+        s.value = V{};
+        ++size_;
+        if (created != nullptr) *created = true;
+        return s.value;
+      }
+    }
+  }
+
+  /// Removes `key` if present; closes the probe chain by shifting later
+  /// members backward (no tombstones, so heavy insert/erase churn — the OT
+  /// table drains at every release — leaves the table pristine).
+  bool erase(std::uint64_t key) {
+    assert(key != kEmptyKey);
+    if (slots_.empty()) return false;
+    std::size_t i = index_of(key);
+    for (;; i = (i + 1) & mask_) {
+      if (slots_[i].key == key) break;
+      if (slots_[i].key == kEmptyKey) return false;
+    }
+    std::size_t hole = i;
+    for (std::size_t j = (hole + 1) & mask_;; j = (j + 1) & mask_) {
+      const Slot& s = slots_[j];
+      if (s.key == kEmptyKey) break;
+      // Move s into the hole iff its home position does not sit after the
+      // hole within the probe run (the standard circular-distance test).
+      const std::size_t home = index_of(s.key);
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = s;
+        hole = j;
+      }
+    }
+    slots_[hole].key = kEmptyKey;
+    slots_[hole].value = V{};
+    --size_;
+    return true;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Slot& s : slots_) {
+      if (s.key != kEmptyKey) fn(s.key, s.value);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key != kEmptyKey) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = kEmptyKey;
+    V value{};
+  };
+
+  std::size_t index_of(std::uint64_t key) const {
+    // Fibonacci hashing: the top bits of key * 2^64/phi.
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> shift_);
+  }
+
+  void grow() {
+    const std::size_t cap = slots_.empty() ? kInitialCapacity
+                                           : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    shift_ = 64 - std::countr_zero(cap);
+    grow_at_ = cap - cap / 8;
+    for (Slot& s : old) {
+      if (s.key == kEmptyKey) continue;
+      std::size_t i = index_of(s.key);
+      while (slots_[i].key != kEmptyKey) i = (i + 1) & mask_;
+      slots_[i] = s;
+    }
+  }
+
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+  std::size_t grow_at_ = 0;  // grow when size_ reaches this (7/8 load)
+  unsigned shift_ = 64;
+};
+
+/// Chunked object store with stable addresses and a slot free list. Objects
+/// are reached by 32-bit slot index; chunks are never deallocated, so an
+/// `emplace`d object's address is valid until `release`, and a steady-state
+/// allocate/release cycle (once the high-water mark is reached) performs no
+/// heap allocation at all.
+template <typename T>
+class StableSlabs {
+ public:
+  static constexpr std::uint32_t kInvalidSlot = ~std::uint32_t{0};
+
+  /// Claims a slot (reusing a released one when available) and resets it to
+  /// a default-constructed T. Returns the slot index.
+  std::uint32_t acquire() {
+    std::uint32_t slot;
+    if (free_head_ != kInvalidSlot) {
+      slot = free_head_;
+      free_head_ = next_free_[slot];
+      (*this)[slot] = T{};
+    } else {
+      slot = static_cast<std::uint32_t>(allocated_);
+      if (slot % kChunk == 0) {
+        chunks_.push_back(std::make_unique<T[]>(kChunk));
+      }
+      ++allocated_;
+      next_free_.push_back(kInvalidSlot);
+    }
+    return slot;
+  }
+
+  void release(std::uint32_t slot) {
+    assert(slot < allocated_);
+    next_free_[slot] = free_head_;
+    free_head_ = slot;
+  }
+
+  T& operator[](std::uint32_t slot) {
+    assert(slot < allocated_);
+    return chunks_[slot / kChunk][slot % kChunk];
+  }
+  const T& operator[](std::uint32_t slot) const {
+    assert(slot < allocated_);
+    return chunks_[slot / kChunk][slot % kChunk];
+  }
+
+  /// High-water mark: slots ever created (released slots included).
+  std::size_t allocated() const { return allocated_; }
+
+ private:
+  static constexpr std::size_t kChunk = 64;
+
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<std::uint32_t> next_free_;  // per-slot free-list link
+  std::uint32_t free_head_ = kInvalidSlot;
+  std::size_t allocated_ = 0;
+};
+
+}  // namespace lrc::util

@@ -1,0 +1,220 @@
+// Small-buffer sequences with a shared overflow pool, for directory-entry
+// transients.
+//
+// Every `DirEntry` used to carry two `std::vector`s (`deferred` request
+// replay queue, `collections` write-notice countdowns) — two pointers' worth
+// of indirection per entry and a heap allocation the first time either was
+// used. In practice both are almost always tiny: a deferred queue holds the
+// one request that raced a busy transaction, and the checker's ordering
+// invariant bounds live collections by the number of concurrent writers.
+// `SmallVec<T, N>` stores the first N elements inline in the entry; the rare
+// overflow spills into fixed-size nodes drawn from a per-directory
+// `OverflowPool<T>`, which recycles nodes through a free list so steady-state
+// protocol handling performs zero heap allocations.
+//
+// SmallVec methods take the pool explicitly (it is shared machine-wide
+// state, not per-entry state); the owning Directory passes its pools
+// through. A SmallVec must be `clear(pool)`ed before destruction if it
+// overflowed — Directory entries live for the whole run, so in practice the
+// chain is reclaimed when the sequence empties.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace lrc::util {
+
+/// Fixed-shape overflow storage shared by many SmallVecs: singly-linked
+/// chains of nodes holding `kNodeItems` elements each, recycled via a free
+/// list (nodes are never returned to the heap).
+template <typename T>
+class OverflowPool {
+ public:
+  static constexpr std::uint32_t kInvalid = ~std::uint32_t{0};
+  static constexpr std::uint32_t kNodeItems = 4;
+
+  struct Node {
+    T items[kNodeItems];
+    std::uint32_t next = kInvalid;
+  };
+
+  std::uint32_t acquire() {
+    std::uint32_t idx;
+    if (free_head_ != kInvalid) {
+      idx = free_head_;
+      free_head_ = nodes_[idx].next;
+    } else {
+      idx = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    nodes_[idx].next = kInvalid;
+    return idx;
+  }
+
+  /// Returns a whole chain to the free list.
+  void release_chain(std::uint32_t head) {
+    while (head != kInvalid) {
+      const std::uint32_t next = nodes_[head].next;
+      nodes_[head].next = free_head_;
+      free_head_ = head;
+      head = next;
+    }
+  }
+
+  Node& node(std::uint32_t idx) { return nodes_[idx]; }
+  const Node& node(std::uint32_t idx) const { return nodes_[idx]; }
+
+  /// High-water mark (for tests / steady-state assertions).
+  std::size_t nodes_created() const { return nodes_.size(); }
+
+ private:
+  std::vector<Node> nodes_;
+  std::uint32_t free_head_ = kInvalid;
+};
+
+/// Sequence with N inline slots and pooled overflow. Supports the access
+/// patterns the directory needs: push_back, swap-free drain (take + clear),
+/// in-order traversal, and erase-while-iterating via erase_if. T must be
+/// default-constructible and assignable.
+template <typename T, unsigned N>
+class SmallVec {
+ public:
+  using Pool = OverflowPool<T>;
+
+  bool empty() const { return size_ == 0; }
+  std::uint32_t size() const { return size_; }
+
+  void push_back(const T& v, Pool& pool) {
+    if (size_ < N) {
+      inline_[size_] = v;
+      ++size_;
+      return;
+    }
+    const std::uint32_t off = size_ - N;
+    const std::uint32_t slot = off % Pool::kNodeItems;
+    if (slot == 0) {
+      // Start a new overflow node at the chain tail.
+      const std::uint32_t idx = pool.acquire();
+      if (head_ == Pool::kInvalid) {
+        head_ = idx;
+      } else {
+        pool.node(tail_).next = idx;
+      }
+      tail_ = idx;
+    }
+    pool.node(tail_).items[slot] = v;
+    ++size_;
+  }
+
+  void clear(Pool& pool) {
+    if (head_ != Pool::kInvalid) {
+      pool.release_chain(head_);
+      head_ = Pool::kInvalid;
+      tail_ = Pool::kInvalid;
+    }
+    size_ = 0;
+  }
+
+  template <typename Fn>
+  void for_each(const Pool& pool, Fn&& fn) const {
+    const std::uint32_t inl = size_ < N ? size_ : N;
+    for (std::uint32_t i = 0; i < inl; ++i) fn(inline_[i]);
+    std::uint32_t idx = head_;
+    for (std::uint32_t done = N; done < size_;) {
+      const auto& node = pool.node(idx);
+      for (std::uint32_t s = 0; s < Pool::kNodeItems && done < size_;
+           ++s, ++done) {
+        fn(node.items[s]);
+      }
+      idx = node.next;
+    }
+  }
+
+  template <typename Fn>
+  void for_each(Pool& pool, Fn&& fn) {
+    const std::uint32_t inl = size_ < N ? size_ : N;
+    for (std::uint32_t i = 0; i < inl; ++i) fn(inline_[i]);
+    std::uint32_t idx = head_;
+    for (std::uint32_t done = N; done < size_;) {
+      auto& node = pool.node(idx);
+      for (std::uint32_t s = 0; s < Pool::kNodeItems && done < size_;
+           ++s, ++done) {
+        fn(node.items[s]);
+      }
+      idx = node.next;
+    }
+  }
+
+  /// Applies `fn` to every element in order; elements for which it returns
+  /// true are removed (order of survivors preserved). `fn` may mutate the
+  /// element. Trailing overflow nodes emptied by the compaction are
+  /// returned to the pool.
+  template <typename Fn>
+  void erase_if(Pool& pool, Fn&& fn) {
+    std::uint32_t kept = 0;
+    Cursor read{*this};
+    Cursor write{*this};
+    for (std::uint32_t i = 0; i < size_; ++i) {
+      T& v = read.deref(pool);
+      const bool drop = fn(v);
+      if (!drop) {
+        if (kept != i) write.deref(pool) = v;
+        write.advance(pool);
+        ++kept;
+      }
+      read.advance(pool);
+    }
+    shrink_to(kept, pool);
+  }
+
+ private:
+  // Walks the inline slots then the overflow chain.
+  struct Cursor {
+    explicit Cursor(SmallVec& v) : vec(v) {}
+    T& deref(Pool& pool) {
+      if (pos < N) return vec.inline_[pos];
+      return pool.node(node).items[(pos - N) % Pool::kNodeItems];
+    }
+    void advance(Pool& pool) {
+      ++pos;
+      if (pos == N) {
+        node = vec.head_;
+      } else if (pos > N && (pos - N) % Pool::kNodeItems == 0) {
+        node = pool.node(node).next;
+      }
+    }
+    SmallVec& vec;
+    std::uint32_t pos = 0;
+    std::uint32_t node = Pool::kInvalid;
+  };
+
+  void shrink_to(std::uint32_t new_size, Pool& pool) {
+    assert(new_size <= size_);
+    size_ = new_size;
+    if (size_ <= N) {
+      if (head_ != Pool::kInvalid) {
+        pool.release_chain(head_);
+        head_ = Pool::kInvalid;
+        tail_ = Pool::kInvalid;
+      }
+      return;
+    }
+    // Drop overflow nodes past the last used one.
+    const std::uint32_t last = (size_ - N - 1) / Pool::kNodeItems;
+    std::uint32_t idx = head_;
+    for (std::uint32_t n = 0; n < last; ++n) idx = pool.node(idx).next;
+    if (pool.node(idx).next != Pool::kInvalid) {
+      pool.release_chain(pool.node(idx).next);
+      pool.node(idx).next = Pool::kInvalid;
+    }
+    tail_ = idx;
+  }
+
+  T inline_[N]{};
+  std::uint32_t size_ = 0;
+  std::uint32_t head_ = Pool::kInvalid;
+  std::uint32_t tail_ = Pool::kInvalid;
+};
+
+}  // namespace lrc::util

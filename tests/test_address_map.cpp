@@ -58,6 +58,8 @@ TEST(AddressMap, RejectsBadGeometry) {
   EXPECT_THROW(AddressMap(4, 4096, 128), std::invalid_argument);
   // Line longer than 64 words does not fit the masks.
   EXPECT_THROW(AddressMap(4, 512, 4096), std::invalid_argument);
+  // Power of two but shorter than one 4-byte word.
+  EXPECT_THROW(AddressMap(4, 2, 4096), std::invalid_argument);
 }
 
 TEST(AddressMap, LongLinesForFutureMachine) {

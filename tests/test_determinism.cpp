@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -149,6 +151,82 @@ TEST(Determinism, ParallelSweepMatchesSerial) {
                 parallel[i][j].report.summary());
     }
   }
+}
+
+// Golden statistics: the full test-scale matrix (every app x SC/ERC/LRC/
+// LRC-ext, seed 7) pinned by digest. Performance work on the memory-system
+// hot path (flat-hash directory/OT, shift-mask address math, pooled
+// transients) must leave every protocol statistic bit-identical; any
+// behavioural change — intended or not — shows up here as a digest
+// mismatch. To regenerate after an *intended* protocol change, run with
+// LRCSIM_PRINT_GOLDEN=1 and paste the printed table.
+TEST(Determinism, GoldenStatsMatrix) {
+  struct Golden {
+    const char* app;
+    const char* protocol;
+    std::uint64_t digest;
+  };
+  static const Golden kGolden[] = {
+      // clang-format off
+      {"gauss", "SC", 0x9a2f4806d9eb86d3ull},
+      {"gauss", "ERC", 0x75807377d8169720ull},
+      {"gauss", "LRC", 0x9d01c1af4030df97ull},
+      {"gauss", "LRC-ext", 0x28b815ce6de71b24ull},
+      {"fft", "SC", 0xa2b01ec89aba2f90ull},
+      {"fft", "ERC", 0x32c1a11b59bd9605ull},
+      {"fft", "LRC", 0x63593883ed1ec7adull},
+      {"fft", "LRC-ext", 0x6dcc7ce8b3c85e05ull},
+      {"blu", "SC", 0xf80fc71f4a70bc11ull},
+      {"blu", "ERC", 0x0f2105f7fea12f5dull},
+      {"blu", "LRC", 0xd280707aaa9680b5ull},
+      {"blu", "LRC-ext", 0x7ea85f3bf96dc69aull},
+      {"barnes", "SC", 0xd198d5cd2833c1f9ull},
+      {"barnes", "ERC", 0xb94647a9e06dea34ull},
+      {"barnes", "LRC", 0x51bb4e461e3be48dull},
+      {"barnes", "LRC-ext", 0xce00f1d6733a7d96ull},
+      {"cholesky", "SC", 0xa9626d92cd82807eull},
+      {"cholesky", "ERC", 0xe2574d64d65c7cfbull},
+      {"cholesky", "LRC", 0xd645c856c8bd48a7ull},
+      {"cholesky", "LRC-ext", 0xc4c815248a96c548ull},
+      {"locusroute", "SC", 0x0c4d0ade05c65cabull},
+      {"locusroute", "ERC", 0xce179caa47e500e9ull},
+      {"locusroute", "LRC", 0x64d069ce4b60645bull},
+      {"locusroute", "LRC-ext", 0x1566b716be7130c5ull},
+      {"mp3d", "SC", 0x600c44f1b85e095bull},
+      {"mp3d", "ERC", 0x1ef7f3314f82277eull},
+      {"mp3d", "LRC", 0x8c7f6c88b8cade00ull},
+      {"mp3d", "LRC-ext", 0x9bdcaf454eb09779ull},
+      // clang-format on
+  };
+
+  const auto opt = test_options();
+  const auto results = bench::run_matrix(opt, kAllKinds);
+  const auto apps = bench::selected_apps(opt);
+
+  if (std::getenv("LRCSIM_PRINT_GOLDEN") != nullptr) {
+    for (std::size_t i = 0; i < results.size(); ++i)
+      for (const auto& cell : results[i])
+        std::printf("      {\"%s\", \"%s\", 0x%016llxull},\n",
+                    std::string(apps[i]->name).c_str(),
+                    cell.report.protocol.c_str(),
+                    static_cast<unsigned long long>(digest(cell.report)));
+    return;
+  }
+
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    for (const auto& cell : results[i]) {
+      ASSERT_LT(k, std::size(kGolden));
+      EXPECT_EQ(kGolden[k].app, std::string(apps[i]->name));
+      EXPECT_EQ(kGolden[k].protocol, cell.report.protocol);
+      EXPECT_EQ(kGolden[k].digest, digest(cell.report))
+          << apps[i]->name << " / " << cell.report.protocol
+          << " (regenerate with LRCSIM_PRINT_GOLDEN=1 only if the "
+             "behavioural change is intended)";
+      ++k;
+    }
+  }
+  EXPECT_EQ(k, std::size(kGolden));
 }
 
 // Past-time schedules indicate a broken component; no app/protocol pair may

@@ -1,0 +1,254 @@
+// Unit tests for the open-addressed hash containers and small-buffer
+// sequences that back the memory-system hot path (util/flat_hash.hpp,
+// util/small_vec.hpp). These structures replace std::unordered_map and
+// std::vector in the directory and OT table, so their probe / erase /
+// overflow corner cases are exercised directly here rather than only
+// through protocol traffic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_hash.hpp"
+#include "util/small_vec.hpp"
+
+namespace lrc::util {
+namespace {
+
+// Mirror of FlatMap's Fibonacci hash, for crafting colliding keys.
+std::size_t home_index(std::uint64_t key, std::size_t capacity) {
+  const unsigned shift = 64 - std::countr_zero(capacity);
+  return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> shift);
+}
+
+TEST(FlatMap, GrowthPreservesAllEntries) {
+  FlatMap<std::uint64_t> m;
+  constexpr std::uint64_t kN = 5000;  // forces many doublings from cap 16
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    bool created = false;
+    m.get_or_create(k, &created) = k * 3 + 1;
+    EXPECT_TRUE(created);
+  }
+  EXPECT_EQ(m.size(), kN);
+  EXPECT_TRUE(std::has_single_bit(m.capacity()));
+  // Load factor stays <= 7/8 after growth.
+  EXPECT_LE(m.size(), m.capacity() - m.capacity() / 8);
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    auto* v = m.find(k);
+    ASSERT_NE(v, nullptr) << "lost key " << k;
+    EXPECT_EQ(*v, k * 3 + 1);
+  }
+  EXPECT_EQ(m.find(kN), nullptr);
+}
+
+TEST(FlatMap, GetOrCreateReportsExisting) {
+  FlatMap<int> m;
+  bool created = false;
+  m.get_or_create(7, &created) = 42;
+  EXPECT_TRUE(created);
+  EXPECT_EQ(m.get_or_create(7, &created), 42);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, BackwardShiftEraseKeepsCollidingChainReachable) {
+  FlatMap<std::uint64_t> m;
+  m.get_or_create(0) = 0;  // materialize the table at initial capacity
+  const std::size_t cap = m.capacity();
+  const std::size_t target = home_index(0, cap);
+
+  // Collect keys whose home slot collides with key 0's.
+  std::vector<std::uint64_t> chain{0};
+  for (std::uint64_t k = 1; chain.size() < 5; ++k) {
+    if (home_index(k, cap) == target) chain.push_back(k);
+  }
+  for (std::uint64_t k : chain) m.get_or_create(k) = k + 100;
+  ASSERT_EQ(m.capacity(), cap) << "collision chain must fit without growth";
+
+  // Erase the middle of the probe run; later members must be shifted back
+  // into the hole, not stranded behind an empty slot.
+  EXPECT_TRUE(m.erase(chain[2]));
+  EXPECT_EQ(m.find(chain[2]), nullptr);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (i == 2) continue;
+    auto* v = m.find(chain[i]);
+    ASSERT_NE(v, nullptr) << "chain member " << i << " lost after erase";
+    EXPECT_EQ(*v, chain[i] + 100);
+  }
+  // Erase the head of the run too.
+  EXPECT_TRUE(m.erase(chain[0]));
+  EXPECT_NE(m.find(chain[1]), nullptr);
+  EXPECT_NE(m.find(chain[4]), nullptr);
+  EXPECT_FALSE(m.erase(chain[0]));  // second erase finds nothing
+}
+
+TEST(FlatMap, DrainChurnDoesNotGrowTable) {
+  FlatMap<int> m;
+  // Warm up: 6 live keys; peak occupancy per round below is 12, under the
+  // 7/8 grow threshold (14) of the initial capacity 16.
+  for (std::uint64_t k = 0; k < 6; ++k) m.get_or_create(k);
+  const std::size_t cap = m.capacity();
+  // The OT-table pattern: fill and fully drain, thousands of times. With
+  // tombstones this degrades; with backward-shift the table stays pristine.
+  for (int round = 0; round < 5000; ++round) {
+    for (std::uint64_t k = 0; k < 6; ++k) {
+      m.get_or_create(1000 + k * 97 + static_cast<std::uint64_t>(round));
+    }
+    for (std::uint64_t k = 0; k < 6; ++k) {
+      EXPECT_TRUE(m.erase(1000 + k * 97 + static_cast<std::uint64_t>(round)));
+    }
+  }
+  EXPECT_EQ(m.capacity(), cap);
+  EXPECT_EQ(m.size(), 6u);
+}
+
+TEST(FlatMap, MatchesUnorderedMapUnderRandomOps) {
+  FlatMap<std::uint32_t> m;
+  std::unordered_map<std::uint64_t, std::uint32_t> ref;
+  std::uint64_t rng = 0x2545f4914f6cdd1dull;
+  auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint64_t key = next() % 512;  // small key space -> heavy churn
+    switch (next() % 3) {
+      case 0: {  // insert / update
+        const auto val = static_cast<std::uint32_t>(next());
+        m.get_or_create(key) = val;
+        ref[key] = val;
+        break;
+      }
+      case 1: {  // erase
+        EXPECT_EQ(m.erase(key), ref.erase(key) == 1);
+        break;
+      }
+      default: {  // lookup
+        auto* v = m.find(key);
+        auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(v, nullptr);
+        } else {
+          ASSERT_NE(v, nullptr);
+          EXPECT_EQ(*v, it->second);
+        }
+      }
+    }
+    EXPECT_EQ(m.size(), ref.size());
+  }
+  // Full-content sweep at the end.
+  std::size_t visited = 0;
+  m.for_each([&](std::uint64_t k, std::uint32_t v) {
+    ++visited;
+    auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(v, it->second);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(StableSlabs, ReusesReleasedSlotsAndKeepsAddressesStable) {
+  StableSlabs<int> slabs;
+  std::vector<std::uint32_t> slots;
+  for (int i = 0; i < 200; ++i) {  // spans multiple 64-entry chunks
+    const std::uint32_t s = slabs.acquire();
+    slabs[s] = i;
+    slots.push_back(s);
+  }
+  EXPECT_EQ(slabs.allocated(), 200u);
+  int* p0 = &slabs[slots[0]];
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(slabs[slots[i]], i);
+
+  // Release everything and refill: allocated() (the high-water mark) must
+  // not move, and previously handed-out addresses stay valid.
+  for (std::uint32_t s : slots) slabs.release(s);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::uint32_t> again;
+    for (int i = 0; i < 200; ++i) again.push_back(slabs.acquire());
+    EXPECT_EQ(slabs.allocated(), 200u);
+    for (std::uint32_t s : again) slabs.release(s);
+  }
+  EXPECT_EQ(p0, &slabs[slots[0]]);  // chunks are never reallocated
+}
+
+TEST(StableSlabs, AcquireResetsRecycledSlot) {
+  StableSlabs<int> slabs;
+  const std::uint32_t s = slabs.acquire();
+  slabs[s] = 99;
+  slabs.release(s);
+  const std::uint32_t t = slabs.acquire();
+  EXPECT_EQ(t, s);
+  EXPECT_EQ(slabs[t], 0);
+}
+
+using Vec = SmallVec<int, 2>;
+using Pool = OverflowPool<int>;
+
+std::vector<int> contents(const Vec& v, const Pool& pool) {
+  std::vector<int> out;
+  v.for_each(pool, [&](int x) { out.push_back(x); });
+  return out;
+}
+
+TEST(SmallVec, InlineThenSpillsToPoolInOrder) {
+  Pool pool;
+  Vec v;
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 13; ++i) v.push_back(i, pool);  // 2 inline + 11 pooled
+  EXPECT_EQ(v.size(), 13u);
+  // 11 overflow items at 4 per node -> 3 nodes.
+  EXPECT_EQ(pool.nodes_created(), 3u);
+  const std::vector<int> expect{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  EXPECT_EQ(contents(v, pool), expect);
+}
+
+TEST(SmallVec, ClearReturnsChainForReuse) {
+  Pool pool;
+  Vec a;
+  for (int i = 0; i < 10; ++i) a.push_back(i, pool);
+  const std::size_t high_water = pool.nodes_created();
+  a.clear(pool);
+  EXPECT_TRUE(a.empty());
+  // A second sequence of the same shape must reuse the freed nodes.
+  Vec b;
+  for (int i = 0; i < 10; ++i) b.push_back(100 + i, pool);
+  EXPECT_EQ(pool.nodes_created(), high_water);
+  EXPECT_EQ(contents(b, pool)[9], 109);
+  b.clear(pool);
+}
+
+TEST(SmallVec, EraseIfCompactsAcrossInlineAndOverflow) {
+  Pool pool;
+  Vec v;
+  for (int i = 0; i < 12; ++i) v.push_back(i, pool);
+  // Drop the evens; survivors keep their relative order and migrate from
+  // overflow slots back toward the inline buffer.
+  v.erase_if(pool, [](int& x) { return x % 2 == 0; });
+  EXPECT_EQ(contents(v, pool), (std::vector<int>{1, 3, 5, 7, 9, 11}));
+  // Drop all but one: the overflow chain must be fully released.
+  const std::size_t nodes = pool.nodes_created();
+  v.erase_if(pool, [](int& x) { return x != 3; });
+  EXPECT_EQ(contents(v, pool), (std::vector<int>{3}));
+  Vec w;
+  for (int i = 0; i < 12; ++i) w.push_back(i, pool);  // reuses freed nodes
+  EXPECT_EQ(pool.nodes_created(), nodes);
+  w.clear(pool);
+}
+
+TEST(SmallVec, EraseIfMayMutateSurvivors) {
+  Pool pool;
+  Vec v;
+  for (int i = 0; i < 6; ++i) v.push_back(i, pool);
+  v.erase_if(pool, [](int& x) {
+    x *= 10;
+    return x >= 40;
+  });
+  EXPECT_EQ(contents(v, pool), (std::vector<int>{0, 10, 20, 30}));
+  v.clear(pool);
+}
+
+}  // namespace
+}  // namespace lrc::util

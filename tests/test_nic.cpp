@@ -16,9 +16,11 @@ struct Delivery {
 
 struct NicFixture : ::testing::Test {
   NicFixture() : topo(64), nic(engine, topo, NicParams{}) {
-    nic.set_deliver([this](const Message& m, Cycle t) {
-      log.push_back(Delivery{m, t});
-    });
+    nic.set_deliver(
+        [](void* ctx, const Message& m, Cycle t) {
+          static_cast<NicFixture*>(ctx)->log.push_back(Delivery{m, t});
+        },
+        this);
   }
 
   Message make(NodeId src, NodeId dst, std::uint32_t payload = 0) {

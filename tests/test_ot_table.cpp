@@ -51,6 +51,43 @@ TEST(OtTable, DoneReflectsPendingWork) {
   EXPECT_TRUE(e.done());
 }
 
+TEST(OtTable, DrainAndRefillReusesSlots) {
+  // The release-wait pattern: the table fills with in-flight transactions,
+  // then drains completely. Once warm, repeated cycles must recycle slab
+  // slots (no new allocations) and entry pointers must stay valid until
+  // their erase.
+  OtTable ot;
+  constexpr LineId kLines = 24;
+  for (LineId l = 0; l < kLines; ++l) ot.get_or_create(l, nullptr);
+  const std::size_t high_water = ot.slots_allocated();
+  for (LineId l = 0; l < kLines; ++l) ot.erase(l);
+  ASSERT_TRUE(ot.empty());
+
+  for (int release = 0; release < 100; ++release) {
+    OtEntry* first = nullptr;
+    for (LineId l = 0; l < kLines; ++l) {
+      bool created = false;
+      // Distinct lines each round: churn the index as real traffic does.
+      OtEntry& e = ot.get_or_create(1000 + release * kLines + l, &created);
+      EXPECT_TRUE(created);
+      e.acks_pending = 1;
+      if (l == 0) first = &e;
+    }
+    // Entry addresses are stable across the creations above.
+    EXPECT_EQ(first->line, static_cast<LineId>(1000 + release * kLines));
+    for (LineId l = 0; l < kLines; ++l) {
+      OtEntry* e = ot.find(1000 + release * kLines + l);
+      ASSERT_NE(e, nullptr);
+      e->acks_pending = 0;
+      EXPECT_TRUE(e->done());
+      ot.erase(e->line);
+    }
+    EXPECT_TRUE(ot.empty());
+    EXPECT_EQ(ot.slots_allocated(), high_water) << "round " << release;
+  }
+  EXPECT_EQ(ot.stats().allocated, kLines * 101u);
+}
+
 TEST(OtTable, ForEachVisitsAll) {
   OtTable ot;
   for (LineId l = 0; l < 5; ++l) ot.get_or_create(l, nullptr);

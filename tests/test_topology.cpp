@@ -51,7 +51,10 @@ class TopologyParam : public ::testing::TestWithParam<unsigned> {};
 TEST_P(TopologyParam, CoversAllNodes) {
   const unsigned n = GetParam();
   Topology t(n);
-  EXPECT_GE(t.rows() * t.cols(), n);
+  // The mesh is exactly rectangular: rows is the largest divisor of n not
+  // exceeding sqrt(n), so rows * cols == n with no padded positions.
+  EXPECT_EQ(t.rows() * t.cols(), n);
+  EXPECT_LE(t.rows(), t.cols());
   // Every node has valid coordinates.
   for (NodeId i = 0; i < n; ++i) {
     EXPECT_LT(t.row_of(i), t.rows());
