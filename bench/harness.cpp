@@ -28,6 +28,11 @@ namespace {
       "  --seed N         workload generator seed (default 1)\n"
       "  --cache-kb N     override cache size\n"
       "  --line N         override cache line size (bytes)\n"
+      "  --hier NAME      cache-hierarchy preset (default l1):\n"
+      "                   l1      single L1 (Table 1)\n"
+      "                   l2      + 1 MB 8-way inclusive private L2\n"
+      "                   l2x     + 1 MB 8-way exclusive private L2\n"
+      "                   l2-llc  l2 plus a 1 MB/node shared sliced LLC\n"
       "  --no-validate    skip result validation\n"
       "  --jobs N         experiment worker threads (default: all host\n"
       "                   cores; results are identical for any N)\n",
@@ -88,6 +93,14 @@ Options Options::parse(int argc, char** argv) {
       opt.cache_bytes = static_cast<std::uint32_t>(std::stoul(next())) * 1024;
     } else if (arg == "--line") {
       opt.line_bytes = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--hier") {
+      opt.hier = next();
+      if (opt.hier != "l1" && opt.hier != "l2" && opt.hier != "l2x" &&
+          opt.hier != "l2-llc") {
+        std::fprintf(stderr, "unknown hierarchy preset: %s\n",
+                     opt.hier.c_str());
+        usage(argv[0]);
+      }
     } else if (arg == "--no-validate") {
       opt.validate = false;
     } else if (arg == "--jobs") {
@@ -119,6 +132,14 @@ core::SystemParams make_params(const Options& opt) {
   }
   if (opt.cache_bytes != 0) p.cache_bytes = opt.cache_bytes;
   if (opt.line_bytes != 0) p.line_bytes = opt.line_bytes;
+  if (opt.hier == "l2") {
+    p.cache = cache::CacheConfig::paper_l2();
+  } else if (opt.hier == "l2x") {
+    p.cache = cache::CacheConfig::with_l2(1024 * 1024, 8,
+                                          cache::InclusionPolicy::kExclusive);
+  } else if (opt.hier == "l2-llc") {
+    p.cache = cache::CacheConfig::paper_l2().add_llc(1024 * 1024, 8);
+  }
   p.seed = opt.seed;
   return p;
 }

@@ -26,11 +26,12 @@ struct Options {
   bool future = false;            // §4.3 future-machine parameters
   std::uint32_t cache_bytes = 0;  // 0 = scale default
   std::uint32_t line_bytes = 0;   // 0 = machine default
+  std::string hier;               // cache-hierarchy preset; empty/"l1" = L1 only
   bool validate = true;
   unsigned jobs = 0;              // worker threads; 0 = hardware_concurrency
 
   /// Parses --procs/--scale/--quick/--apps/--seed/--cache-kb/--line/
-  /// --no-validate/--jobs; exits with usage on error.
+  /// --hier/--no-validate/--jobs; exits with usage on error.
   static Options parse(int argc, char** argv);
 };
 

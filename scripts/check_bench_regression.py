@@ -24,6 +24,13 @@ import sys
 REGRESSION_TOLERANCE = 0.30  # fail on >30% drop of any speedup ratio
 ZERO_ALLOCS = 0.001          # "zero" allowing for one-off warmup noise
 
+# Sections a bench must emit: their "speedup" / "*allocs*" leaves are what
+# the rules above gate, so silently dropping the section (e.g. by
+# regenerating the JSON with an older binary) must itself be a failure.
+REQUIRED_SECTIONS = {
+    "micro_memsys": ("sim", "hier", "container"),
+}
+
 
 def walk(ref, new, path, failures, strict_sim):
     if isinstance(ref, dict):
@@ -75,6 +82,12 @@ def main(argv):
             failures.append(f"{ref_path} vs {new_path}: different benches")
             continue
         print(f"{name}:")
+        for section in REQUIRED_SECTIONS.get(name, ()):
+            for side, data in (("checked-in", ref), ("fresh", new)):
+                if section not in data:
+                    failures.append(
+                        f"{name}.{section}: required section missing from "
+                        f"{side} output")
         walk(ref, new, name, failures, strict_sim)
     if failures:
         print("bench regression: FAIL")

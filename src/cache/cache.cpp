@@ -1,67 +1,141 @@
 #include "cache/cache.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace lrc::cache {
 
 namespace {
 bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::uint32_t log2_u32(std::uint32_t v) {
+  std::uint32_t s = 0;
+  while ((1u << s) < v) ++s;
+  return s;
+}
 }  // namespace
 
-Cache::Cache(std::uint32_t cache_bytes, std::uint32_t line_bytes)
-    : line_bytes_(line_bytes) {
+CacheGeometry CacheGeometry::make(std::uint32_t cache_bytes,
+                                  std::uint32_t line_bytes,
+                                  std::uint32_t ways) {
   if (!is_pow2(cache_bytes) || !is_pow2(line_bytes) ||
       cache_bytes < line_bytes) {
     throw std::invalid_argument(
         "Cache: sizes must be powers of two with cache >= line");
   }
-  const std::uint32_t nsets = cache_bytes / line_bytes;
-  sets_.resize(nsets);
-  set_mask_ = nsets - 1;
+  if (!is_pow2(ways)) {
+    throw std::invalid_argument("Cache: ways must be a power of two, got " +
+                                std::to_string(ways));
+  }
+  const std::uint32_t nlines = cache_bytes / line_bytes;
+  if (ways > nlines) {
+    throw std::invalid_argument(
+        "Cache: ways (" + std::to_string(ways) + ") exceeds total lines (" +
+        std::to_string(nlines) + ")");
+  }
+  CacheGeometry g;
+  g.sets = nlines / ways;
+  g.ways = ways;
+  g.line_bytes = line_bytes;
+  return g;
 }
 
-CacheLine* Cache::find(LineId line) {
-  CacheLine& l = sets_[set_of(line)];
-  if (l.state != LineState::kInvalid && l.line == line) return &l;
-  return nullptr;
+Cache::Cache(std::uint32_t cache_bytes, std::uint32_t line_bytes)
+    : Cache(CacheGeometry::make(cache_bytes, line_bytes, 1),
+            ReplacementKind::kLru, 0) {}
+
+Cache::Cache(const CacheGeometry& geo, ReplacementKind repl,
+             std::uint64_t seed)
+    : geo_(geo), repl_(repl), rng_(seed) {
+  if (!is_pow2(geo_.sets) || !is_pow2(geo_.ways) || !is_pow2(geo_.line_bytes)) {
+    throw std::invalid_argument(
+        "Cache: sets, ways and line size must all be powers of two");
+  }
+  set_mask_ = geo_.sets - 1;
+  way_shift_ = log2_u32(geo_.ways);
+  lines_.resize(static_cast<std::size_t>(geo_.sets) * geo_.ways);
+  stamp_.assign(lines_.size(), 0);
 }
 
-const CacheLine* Cache::find(LineId line) const {
-  const CacheLine& l = sets_[set_of(line)];
-  if (l.state != LineState::kInvalid && l.line == line) return &l;
-  return nullptr;
+std::uint32_t Cache::victim_way(const CacheLine* base, sim::Rng& rng) const {
+  if (repl_ == ReplacementKind::kRandom) {
+    return static_cast<std::uint32_t>(rng.below(geo_.ways));
+  }
+  // LRU and FIFO both evict the oldest stamp; they differ only in when
+  // the stamp is refreshed (every touch vs. install only). Ties resolve
+  // to the lowest way for determinism.
+  const std::size_t s0 = static_cast<std::size_t>(base - lines_.data());
+  std::uint32_t best = 0;
+  std::uint64_t best_stamp = stamp_[s0];
+  for (std::uint32_t w = 1; w < geo_.ways; ++w) {
+    if (stamp_[s0 + w] < best_stamp) {
+      best_stamp = stamp_[s0 + w];
+      best = w;
+    }
+  }
+  return best;
 }
 
 const CacheLine* Cache::victim_for(LineId line) const {
-  const CacheLine& l = sets_[set_of(line)];
-  if (l.state != LineState::kInvalid && l.line != line) return &l;
-  return nullptr;
+  const CacheLine* base = set_base(line);
+  for (std::uint32_t w = 0; w < geo_.ways; ++w) {
+    if (base[w].state == LineState::kInvalid || base[w].line == line) {
+      return nullptr;  // room (or already resident): no displacement
+    }
+  }
+  sim::Rng peek = rng_;  // random policy: peek without advancing
+  return base + victim_way(base, peek);
 }
 
 std::optional<CacheLine> Cache::fill(LineId line, LineState state) {
-  CacheLine& slot = sets_[set_of(line)];
-  std::optional<CacheLine> victim;
-  if (slot.state != LineState::kInvalid && slot.line != line) {
-    victim = slot;
-    ++stats_.evictions;
-    slot.dirty = 0;  // displaced: fresh install starts clean
-  } else if (slot.state == LineState::kInvalid) {
-    slot.dirty = 0;  // fresh install; refills of the resident line keep dirty
+  CacheLine* base = set_base(line);
+  std::int32_t free_way = -1;
+  for (std::uint32_t w = 0; w < geo_.ways; ++w) {
+    CacheLine& l = base[w];
+    if (l.state == LineState::kInvalid) {
+      if (free_way < 0) free_way = static_cast<std::int32_t>(w);
+      continue;
+    }
+    if (l.line == line) {
+      // Refill of the resident line: update state, keep dirty words.
+      l.state = state;
+      if (repl_ != ReplacementKind::kFifo) {
+        stamp_[&l - lines_.data()] = ++tick_;
+      }
+      return std::nullopt;
+    }
   }
-  slot.line = line;
-  slot.state = state;
+  if (free_way >= 0) {
+    CacheLine& l = base[free_way];
+    l.line = line;
+    l.state = state;
+    l.dirty = 0;
+    stamp_[&l - lines_.data()] = ++tick_;
+    return std::nullopt;
+  }
+  const std::uint32_t vw = victim_way(base, rng_);
+  CacheLine& l = base[vw];
+  CacheLine victim = l;
+  ++stats_.evictions;
+  l.line = line;
+  l.state = state;
+  l.dirty = 0;  // displaced: fresh install starts clean
+  stamp_[&l - lines_.data()] = ++tick_;
   return victim;
 }
 
 std::optional<CacheLine> Cache::invalidate(LineId line) {
-  CacheLine& slot = sets_[set_of(line)];
-  if (slot.state == LineState::kInvalid || slot.line != line) {
-    return std::nullopt;
-  }
-  CacheLine removed = slot;
-  slot.state = LineState::kInvalid;
-  slot.dirty = 0;
-  ++stats_.invalidations;
+  auto removed = remove(line);
+  if (removed) ++stats_.invalidations;
+  return removed;
+}
+
+std::optional<CacheLine> Cache::remove(LineId line) {
+  CacheLine* l = find(line);
+  if (l == nullptr) return std::nullopt;
+  CacheLine removed = *l;
+  l->state = LineState::kInvalid;
+  l->dirty = 0;
   return removed;
 }
 

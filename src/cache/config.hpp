@@ -1,0 +1,94 @@
+// Hierarchy configuration: how many cache levels a node has, their
+// geometry and replacement policies, the inclusion contract between the
+// private levels, and the (optional) sliced shared last-level cache in
+// front of DRAM. A machine is "L1-only" or "L1+L2+LLC" purely by this
+// struct — the protocols never branch on the number of levels.
+//
+// The L1's capacity and the global line size come from the top-level
+// SystemParams knobs (cache_bytes / line_bytes); this struct holds
+// everything beyond that.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/cache.hpp"
+#include "sim/types.hpp"
+
+namespace lrc::cache {
+
+/// Contract across the private L1/L2 boundary.
+///  - kInclusive: every L1 line has an L2 tag; evicting an L2 victim
+///    back-invalidates the L1 copy (same protocol transactions as a
+///    coherence invalidation).
+///  - kExclusive: a line lives in exactly one private level; L1 victims
+///    demote into L2, L2 hits promote (swap) back into L1.
+enum class InclusionPolicy : std::uint8_t { kInclusive, kExclusive };
+
+/// How a line is mapped to an LLC slice.
+///  - kInterleave: slice = line mod nslices (consecutive lines round-robin).
+///  - kXorFold: xor-fold the line number before taking the modulus, which
+///    decorrelates slice choice from page/stride patterns.
+enum class SliceHash : std::uint8_t { kInterleave, kXorFold };
+
+/// When an LLC slice allocates a line.
+///  - kOnRead: allocate on demand reads (inclusive-leaning, classic LLC).
+///  - kOnWriteback: allocate only on private-level writebacks (a victim
+///    cache in front of memory, exclusive-leaning).
+enum class LlcAlloc : std::uint8_t { kOnRead, kOnWriteback };
+
+struct CacheConfig {
+  // L1 shape beyond SystemParams::cache_bytes / line_bytes.
+  std::uint32_t l1_ways = 1;
+  ReplacementKind l1_replacement = ReplacementKind::kLru;
+
+  // Optional private L2 (0 bytes = absent).
+  std::uint32_t l2_bytes = 0;
+  std::uint32_t l2_ways = 8;
+  ReplacementKind l2_replacement = ReplacementKind::kLru;
+  InclusionPolicy inclusion = InclusionPolicy::kInclusive;
+  Cycle l2_hit_cycles = 6;  // extra latency when L2 (not L1) serves a hit
+
+  // Optional sliced shared LLC, one slice per node (0 bytes = absent).
+  std::uint32_t llc_slice_bytes = 0;
+  std::uint32_t llc_ways = 8;
+  ReplacementKind llc_replacement = ReplacementKind::kLru;
+  SliceHash llc_hash = SliceHash::kInterleave;
+  LlcAlloc llc_alloc = LlcAlloc::kOnRead;
+  Cycle llc_hit_cycles = 12;      // slice lookup + data return
+  Cycle llc_remote_penalty = 6;   // extra hop when the slice is off-node
+
+  bool has_l2() const { return l2_bytes != 0; }
+  bool has_llc() const { return llc_slice_bytes != 0; }
+  unsigned private_levels() const { return has_l2() ? 2u : 1u; }
+
+  /// The Table-1 machine: a single direct-mapped L1 (the default).
+  static CacheConfig l1_only() { return CacheConfig{}; }
+
+  /// Private L2 behind the L1.
+  static CacheConfig with_l2(std::uint32_t bytes, std::uint32_t ways,
+                             InclusionPolicy inclusion) {
+    CacheConfig c;
+    c.l2_bytes = bytes;
+    c.l2_ways = ways;
+    c.inclusion = inclusion;
+    return c;
+  }
+
+  /// The EXPERIMENTS.md addendum preset: L1 + 1 MiB 8-way inclusive L2.
+  static CacheConfig paper_l2() {
+    return with_l2(1024 * 1024, 8, InclusionPolicy::kInclusive);
+  }
+
+  /// Adds a shared sliced LLC (one slice per node) to any config.
+  CacheConfig& add_llc(std::uint32_t slice_bytes, std::uint32_t ways,
+                       SliceHash hash = SliceHash::kInterleave,
+                       LlcAlloc alloc = LlcAlloc::kOnRead) {
+    llc_slice_bytes = slice_bytes;
+    llc_ways = ways;
+    llc_hash = hash;
+    llc_alloc = alloc;
+    return *this;
+  }
+};
+
+}  // namespace lrc::cache

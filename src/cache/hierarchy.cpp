@@ -1,0 +1,134 @@
+#include "cache/hierarchy.hpp"
+
+namespace lrc::cache {
+
+namespace {
+// Distinct, deterministic per-level PRNG streams for the random policy.
+std::uint64_t level_seed(std::uint64_t seed, NodeId node, unsigned level) {
+  return seed ^ (0x517cc1b727220a95ULL * (2ULL * node + level + 1));
+}
+}  // namespace
+
+Hierarchy::Hierarchy(const CacheConfig& cfg, std::uint32_t l1_bytes,
+                     std::uint32_t line_bytes, NodeId node,
+                     std::uint64_t seed)
+    : l1_(CacheGeometry::make(l1_bytes, line_bytes, cfg.l1_ways),
+          cfg.l1_replacement, level_seed(seed, node, 0)),
+      inclusive_(cfg.inclusion == InclusionPolicy::kInclusive),
+      l2_hit_cycles_(cfg.l2_hit_cycles),
+      node_(node) {
+  if (cfg.has_l2()) {
+    l2_ = std::make_unique<Cache>(
+        CacheGeometry::make(cfg.l2_bytes, line_bytes, cfg.l2_ways),
+        cfg.l2_replacement, level_seed(seed, node, 1));
+  }
+}
+
+CacheLine* Hierarchy::lookup_l2(LineId line, Cycle at) {
+  CacheLine* l2l = l2_->find_touch(line);
+  if (l2l == nullptr) return nullptr;
+  ++lstats_[1].hits;
+  ++lstats_[1].promotions;
+  hit_penalty_ = l2_hit_cycles_;
+  const CacheLine copy = *l2l;
+  if (inclusive_) {
+    // Authority (state + dirty) moves up; the L2 tag stays as the
+    // inclusion placeholder.
+    l2l->dirty = 0;
+  } else {
+    // Exclusive: the line leaves L2 entirely.
+    l2_->remove(line);
+  }
+  return install_l1(copy.line, copy.state, copy.dirty, at);
+}
+
+CacheLine* Hierarchy::install_l1(LineId line, LineState state, WordMask dirty,
+                                 Cycle at) {
+  auto victim = l1_.fill(line, state);
+  ++lstats_[0].fills;
+  CacheLine* nl = l1_.find(line);
+  assert(nl != nullptr);
+  nl->dirty |= dirty;
+  if (victim) handle_l1_victim(*victim, at);
+  return nl;
+}
+
+void Hierarchy::handle_l1_victim(const CacheLine& victim, Cycle at) {
+  ++lstats_[0].evictions;
+  if (!l2_) {
+    external_victim(victim, at);
+    return;
+  }
+  if (inclusive_) {
+    // Inclusion guarantees the L2 tag exists; authority moves back down.
+    CacheLine* l2l = l2_->find(victim.line);
+    assert(l2l != nullptr && "inclusive L2 lost a tag the L1 still held");
+    l2l->state = victim.state;
+    l2l->dirty |= victim.dirty;
+    ++lstats_[1].demotions;
+    return;
+  }
+  // Exclusive: demote into L2; whatever L2 displaces leaves the node.
+  auto v2 = l2_->fill(victim.line, victim.state);
+  ++lstats_[1].fills;
+  ++lstats_[1].demotions;
+  CacheLine* l2l = l2_->find(victim.line);
+  assert(l2l != nullptr);
+  l2l->dirty |= victim.dirty;
+  if (v2) {
+    ++lstats_[1].evictions;
+    external_victim(*v2, at);
+  }
+}
+
+void Hierarchy::fill(LineId line, LineState state, Cycle at) {
+  if (!l2_) {
+    auto victim = l1_.fill(line, state);
+    ++lstats_[0].fills;
+    if (victim) {
+      ++lstats_[0].evictions;
+      external_victim(*victim, at);
+    }
+    return;
+  }
+  if (inclusive_) {
+    // Allocate the L2 tag first so inclusion holds once L1 has the line.
+    auto v2 = l2_->fill(line, state);
+    ++lstats_[1].fills;
+    if (v2) {
+      ++lstats_[1].evictions;
+      CacheLine out = *v2;
+      // Back-invalidate the (authoritative) L1 copy before the line
+      // leaves the node; its state/dirty override the stale L2 tag.
+      if (auto l1copy = l1_.remove(out.line)) {
+        ++lstats_[0].back_invals;
+        out.state = l1copy->state;
+        out.dirty |= l1copy->dirty;
+      }
+      external_victim(out, at);
+    }
+    install_l1(line, state, 0, at);
+  } else {
+    // Exclusive: fills land in L1 only; L2 receives demoted victims.
+    install_l1(line, state, 0, at);
+  }
+}
+
+std::optional<CacheLine> Hierarchy::invalidate(LineId line) {
+  std::optional<CacheLine> removed = l1_.remove(line);
+  if (removed) ++lstats_[0].invalidations;
+  if (l2_) {
+    if (auto r2 = l2_->remove(line)) {
+      ++lstats_[1].invalidations;
+      if (removed) {
+        removed->dirty |= r2->dirty;  // L1 authoritative; L2 dirty is stale-0
+      } else {
+        removed = r2;
+      }
+    }
+  }
+  if (removed) ++totals_.invalidations;
+  return removed;
+}
+
+}  // namespace lrc::cache

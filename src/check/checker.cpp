@@ -197,9 +197,30 @@ void Checker::on_release_drained(core::Cpu& cpu, const char* where) {
 
 void Checker::after_handle(const mesh::Message& msg) {
   if (base_ == nullptr || proto::SyncManager::owns(msg.kind)) return;
+  check_hierarchy_line(msg.dst, msg.line);
   proto::DirEntry* e = base_->directory().find(msg.line);
   if (e == nullptr) return;
   check_entry(msg.line, *e);
+}
+
+void Checker::check_hierarchy_line(NodeId p, LineId line) {
+  const auto& h = m_.cpu(p).dcache();
+  if (h.levels() < 2) return;
+  const cache::CacheLine* l1 = h.l1().find(line);
+  const cache::CacheLine* l2 = h.l2()->find(line);
+  if (h.inclusive()) {
+    if (l1 != nullptr && l2 == nullptr) {
+      violation("inclusion violated: cpu " + std::to_string(p) + " line " +
+                std::to_string(line) + " resident in L1 without an L2 tag");
+    } else if (l1 != nullptr && l2->dirty != 0) {
+      violation("inclusion authority violated: cpu " + std::to_string(p) +
+                " line " + std::to_string(line) +
+                " L2 tag carries dirty words under a live L1 copy");
+    }
+  } else if (l1 != nullptr && l2 != nullptr) {
+    violation("exclusion violated: cpu " + std::to_string(p) + " line " +
+              std::to_string(line) + " resident in both L1 and L2");
+  }
 }
 
 void Checker::check_entry(LineId line, const proto::DirEntry& e) {
@@ -294,6 +315,18 @@ void Checker::check_entry(LineId line, const proto::DirEntry& e) {
 void Checker::final_check() {
   for (unsigned p = 0; p < nprocs_; ++p) {
     on_release_drained(m_.cpu(p), "end of run");
+    // Full inclusion/exclusion sweep: every line either level holds must
+    // satisfy the boundary contract (the per-message check only sees lines
+    // the protocol touched).
+    const auto& h = m_.cpu(p).dcache();
+    if (h.levels() >= 2) {
+      h.l1().for_each_valid([&](const cache::CacheLine& cl) {
+        check_hierarchy_line(p, cl.line);
+      });
+      h.l2()->for_each_valid([&](const cache::CacheLine& cl) {
+        check_hierarchy_line(p, cl.line);
+      });
+    }
   }
   if (base_ == nullptr) return;
   base_->directory().for_each([&](LineId line, proto::DirEntry& e) {

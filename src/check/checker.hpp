@@ -144,6 +144,10 @@ class Checker {
             const std::vector<std::uint64_t>& from);
   void violation(std::string msg);
   void check_entry(LineId line, const proto::DirEntry& e);
+  /// Inclusion/exclusion contract for one line of p's private stack:
+  /// inclusive ⇒ an L1-resident line has an L2 tag with dirty == 0 (L1 is
+  /// authoritative); exclusive ⇒ never resident in both levels.
+  void check_hierarchy_line(NodeId p, LineId line);
 
   core::Machine& m_;
   proto::ProtocolBase* base_;  // directory access

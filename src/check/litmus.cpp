@@ -254,7 +254,14 @@ LitmusProgram LitmusProgram::parse_file(const std::string& path) {
 
 LitmusResult run_litmus(const LitmusProgram& prog, core::ProtocolKind kind,
                         std::uint64_t seed) {
+  return run_litmus(prog, kind, seed,
+                    core::SystemParams::test_scale(prog.nprocs).cache);
+}
+
+LitmusResult run_litmus(const LitmusProgram& prog, core::ProtocolKind kind,
+                        std::uint64_t seed, const cache::CacheConfig& cfg) {
   auto params = core::SystemParams::test_scale(prog.nprocs);
+  params.cache = cfg;
   core::Machine m(params, kind);
 
   // Lay out variables: grouped vars pack into one line (8 bytes apart,

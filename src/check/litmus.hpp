@@ -100,4 +100,10 @@ struct LitmusResult {
 LitmusResult run_litmus(const LitmusProgram& prog, core::ProtocolKind kind,
                         std::uint64_t seed);
 
+/// Same, with an explicit cache-hierarchy configuration (2-level inclusive
+/// or exclusive stacks, shared LLC, alternate replacement policies): the
+/// consistency obligations must hold regardless of geometry.
+LitmusResult run_litmus(const LitmusProgram& prog, core::ProtocolKind kind,
+                        std::uint64_t seed, const cache::CacheConfig& cfg);
+
 }  // namespace lrc::check

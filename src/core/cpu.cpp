@@ -14,7 +14,8 @@ namespace lrc::core {
 Cpu::Cpu(Machine& m, NodeId id)
     : m_(m),
       id_(id),
-      cache_(m.params().cache_bytes, m.params().line_bytes),
+      cache_(m.params().cache, m.params().cache_bytes, m.params().line_bytes,
+             id, m.params().seed),
       wb_(m.params().write_buffer_entries),
       cb_(m.params().coalescing_entries) {}
 

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "cache/cache.hpp"
+#include "cache/hierarchy.hpp"
 #include "cache/coalescing_buffer.hpp"
 #include "cache/ot_table.hpp"
 #include "cache/write_buffer.hpp"
@@ -60,8 +61,8 @@ class Cpu {
   // ---- State the protocols drive ----------------------------------------
 
   Cycle now() const { return now_; }
-  cache::Cache& dcache() { return cache_; }
-  const cache::Cache& dcache() const { return cache_; }
+  cache::Hierarchy& dcache() { return cache_; }
+  const cache::Hierarchy& dcache() const { return cache_; }
   cache::WriteBuffer& wb() { return wb_; }
   cache::CoalescingBuffer& cb() { return cb_; }
   cache::OtTable& ot() { return ot_; }
@@ -122,7 +123,7 @@ class Cpu {
   Cycle now_ = 0;
   stats::CpuBreakdown bd_;
 
-  cache::Cache cache_;
+  cache::Hierarchy cache_;
   cache::WriteBuffer wb_;
   cache::CoalescingBuffer cb_;
   cache::OtTable ot_;

@@ -7,8 +7,18 @@
 
 namespace lrc::core {
 
+namespace {
+// Validation must precede every member construction (a bad geometry would
+// otherwise trip asserts deep inside Cache); run it inside the first
+// initializer.
+const SystemParams& validated(const SystemParams& p) {
+  p.validate();
+  return p;
+}
+}  // namespace
+
 Machine::Machine(const SystemParams& params, ProtocolKind protocol)
-    : params_(params),
+    : params_(validated(params)),
       kind_(protocol),
       topo_(params.nprocs),
       nic_(engine_, topo_,
@@ -20,6 +30,10 @@ Machine::Machine(const SystemParams& params, ProtocolKind protocol)
             mem::DramParams{params.mem_setup, params.mem_bandwidth}),
       classifier_(params.nprocs, params.line_bytes / mem::AddressMap::kWordBytes),
       pp_free_(params.nprocs, 0) {
+  if (params_.cache.has_llc()) {
+    llc_ = std::make_unique<mem::SharedLlc>(params_.cache, params_.nprocs,
+                                            params_.line_bytes, params_.seed);
+  }
   sync_ = std::make_unique<proto::SyncManager>(*this);
   protocol_ = proto::make_protocol(protocol, *this);
   nic_.set_deliver(
@@ -30,6 +44,15 @@ Machine::Machine(const SystemParams& params, ProtocolKind protocol)
   cpus_.reserve(params.nprocs);
   for (NodeId p = 0; p < params.nprocs; ++p) {
     cpus_.push_back(std::make_unique<Cpu>(*this, p));
+  }
+  // Lines displaced out of a private stack exit through the protocol,
+  // which owes the same transactions a coherence invalidation produces.
+  for (auto& c : cpus_) {
+    c->dcache().set_victim_sink(
+        [](void* ctx, NodeId p, const cache::CacheLine& victim, Cycle at) {
+          static_cast<proto::Protocol*>(ctx)->evict_victim(p, victim, at);
+        },
+        protocol_.get());
   }
 }
 
@@ -168,6 +191,27 @@ Report Machine::report() const {
     r.cache.upgrade_misses += cs.upgrade_misses;
     r.cache.evictions += cs.evictions;
     r.cache.invalidations += cs.invalidations;
+  }
+  // Per-level movement accounting (kept out of the golden digest: the
+  // protocol-visible aggregate above is the pinned contract).
+  const unsigned levels = cpus_.empty() ? 0 : cpus_[0]->dcache().levels();
+  r.cache_levels.assign(levels, {});
+  for (const auto& c : cpus_) {
+    for (unsigned l = 0; l < levels; ++l) {
+      const auto& ls = c->dcache().level_stats(l);
+      auto& rl = r.cache_levels[l];
+      rl.hits += ls.hits;
+      rl.fills += ls.fills;
+      rl.evictions += ls.evictions;
+      rl.invalidations += ls.invalidations;
+      rl.promotions += ls.promotions;
+      rl.demotions += ls.demotions;
+      rl.back_invals += ls.back_invals;
+    }
+  }
+  if (llc_) {
+    r.has_llc = true;
+    r.llc = llc_->stats();
   }
   return r;
 }

@@ -24,6 +24,7 @@
 #include "mem/address_map.hpp"
 #include "mem/backing_store.hpp"
 #include "mem/dram.hpp"
+#include "mem/llc.hpp"
 #include "mesh/nic.hpp"
 #include "mesh/topology.hpp"
 #include "proto/protocol.hpp"
@@ -110,6 +111,7 @@ class Machine {
   mem::BackingStore& store() { return store_; }
   const mem::BackingStore& store() const { return store_; }
   mem::Dram& dram() { return dram_; }
+  mem::SharedLlc* llc() { return llc_.get(); }
   stats::MissClassifier& classifier() { return classifier_; }
   proto::Protocol& protocol() { return *protocol_; }
   proto::SyncManager& sync() { return *sync_; }
@@ -147,6 +149,21 @@ class Machine {
   /// cycles; returns the start time.
   Cycle pp_claim(NodeId n, Cycle at, Cycle cost);
 
+  /// Full-line memory access: through the shared LLC when configured
+  /// (reads may skip DRAM on a slice hit; writes always reach DRAM so
+  /// LLC copies stay clean), straight to DRAM otherwise.
+  Cycle mem_line(NodeId node, LineId line, Cycle at, bool write) {
+    if (llc_) return llc_->access_line(node, line, at, write, dram_);
+    return dram_.access(node, at, params_.line_bytes, write);
+  }
+
+  /// Partial-line write-through to memory (LLC-aware, write-update).
+  Cycle mem_partial_write(NodeId node, LineId line, Cycle at,
+                          std::uint32_t bytes) {
+    if (llc_) return llc_->write_through(node, line, at, bytes, dram_);
+    return dram_.access(node, at, bytes, true);
+  }
+
   // Event-visible run counters.
   std::uint64_t lock_acquires = 0;
   std::uint64_t barrier_episodes = 0;
@@ -162,6 +179,7 @@ class Machine {
   mem::AddressMap amap_;
   mem::BackingStore store_;
   mem::Dram dram_;
+  std::unique_ptr<mem::SharedLlc> llc_;
   stats::MissClassifier classifier_;
   std::vector<Cycle> pp_free_;
   sim::Trace trace_;

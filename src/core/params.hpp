@@ -7,6 +7,7 @@
 #include <string>
 #include <string_view>
 
+#include "cache/config.hpp"
 #include "mem/address_map.hpp"
 #include "sim/types.hpp"
 
@@ -19,10 +20,17 @@ std::string_view to_string(ProtocolKind k);
 struct SystemParams {
   unsigned nprocs = 64;
 
-  // Cache organization (Table 1).
+  // Cache organization (Table 1). cache_bytes sizes the L1; associativity,
+  // replacement policy and further levels (private L2, shared LLC) live in
+  // `cache` below. The Table-1 default is ways=1, i.e. direct-mapped.
   std::uint32_t line_bytes = 128;
-  std::uint32_t cache_bytes = 128 * 1024;  // direct-mapped
+  std::uint32_t cache_bytes = 128 * 1024;  // L1 capacity
   std::uint32_t page_bytes = 4096;
+
+  // Hierarchy composition: L1 shape plus optional private L2 and optional
+  // sliced shared LLC. The default (single direct-mapped L1) reproduces
+  // the paper machine bit-for-bit.
+  cache::CacheConfig cache;
 
   // Memory system (Table 1).
   Cycle mem_setup = 20;             // "memory setup time"
@@ -67,6 +75,12 @@ struct SystemParams {
   static SystemParams test_scale(unsigned nprocs = 8);
 
   std::string describe() const;
+
+  /// Rejects inconsistent geometry (non-power-of-two sizes/ways,
+  /// line_bytes > page_bytes, inclusive L2 smaller than L1, ...) with a
+  /// std::invalid_argument naming the offending field. Machine
+  /// construction calls this; tests may call it directly.
+  void validate() const;
 };
 
 inline std::string_view to_string(ProtocolKind k) {

@@ -13,6 +13,26 @@ std::string Report::summary() const {
   os << "references: " << cache.references() << "  misses: " << cache.misses()
      << "  miss rate: " << stats::Table::pct(miss_rate(), 2) << "\n";
 
+  // Per-level hierarchy lines only when there is a hierarchy: the default
+  // single-L1 summary stays byte-identical to the pre-hierarchy format.
+  if (cache_levels.size() > 1) {
+    for (std::size_t l = 0; l < cache_levels.size(); ++l) {
+      const auto& ls = cache_levels[l];
+      os << "L" << (l + 1) << ": hits=" << ls.hits << " fills=" << ls.fills
+         << " evictions=" << ls.evictions
+         << " invalidations=" << ls.invalidations
+         << " promotions=" << ls.promotions << " demotions=" << ls.demotions
+         << " back-invals=" << ls.back_invals << "\n";
+    }
+  }
+  if (has_llc) {
+    os << "LLC: hits=" << llc.hits << " misses=" << llc.misses
+       << " read-fills=" << llc.read_fills
+       << " wb-fills=" << llc.writeback_fills
+       << " evictions=" << llc.evictions
+       << " remote=" << llc.remote_accesses << "\n";
+  }
+
   const double total = static_cast<double>(breakdown.total());
   os << "aggregate cycles by category:";
   for (std::size_t i = 0; i < stats::kStallKinds; ++i) {

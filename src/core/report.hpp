@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "cache/hierarchy.hpp"
 #include "mem/dram.hpp"
+#include "mem/llc.hpp"
 #include "mesh/nic.hpp"
 #include "proto/sync_manager.hpp"
 #include "stats/counters.hpp"
@@ -30,9 +32,18 @@ struct Report {
   /// Aggregate stall-latency distributions per category.
   std::array<stats::Histogram, stats::kStallKinds> stall_hist;
 
-  /// Cache behaviour aggregated over processors.
+  /// Cache behaviour aggregated over processors (protocol-visible totals;
+  /// this is the struct pinned by the golden digests).
   cache::CacheStats cache;
   stats::MissCounts miss_classes;
+
+  /// Per-level movement accounting aggregated over processors: [0] = L1,
+  /// [1] = L2 when configured. Not part of the golden digest.
+  std::vector<cache::LevelStats> cache_levels;
+
+  /// Shared LLC behaviour (all slices summed), when configured.
+  bool has_llc = false;
+  mem::LlcStats llc;
 
   /// Traffic and memory-system behaviour.
   mesh::NicStats nic;

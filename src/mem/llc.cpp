@@ -1,0 +1,82 @@
+#include "mem/llc.hpp"
+
+namespace lrc::mem {
+
+SharedLlc::SharedLlc(const cache::CacheConfig& cfg, unsigned nodes,
+                     std::uint32_t line_bytes, std::uint64_t seed)
+    : hash_(cfg.llc_hash),
+      alloc_(cfg.llc_alloc),
+      hit_cycles_(cfg.llc_hit_cycles),
+      remote_penalty_(cfg.llc_remote_penalty),
+      line_bytes_(line_bytes) {
+  const auto geo =
+      cache::CacheGeometry::make(cfg.llc_slice_bytes, line_bytes,
+                                 cfg.llc_ways);
+  slices_.reserve(nodes);
+  for (unsigned s = 0; s < nodes; ++s) {
+    slices_.emplace_back(geo, cfg.llc_replacement,
+                         seed ^ (0xd1342543de82ef95ULL * (s + 1)));
+  }
+}
+
+NodeId SharedLlc::slice_of(LineId line) const {
+  std::uint64_t key = line;
+  if (hash_ == cache::SliceHash::kXorFold) {
+    key ^= key >> 17;
+    key ^= key >> 7;
+  }
+  return static_cast<NodeId>(key % slices_.size());
+}
+
+Cycle SharedLlc::slice_start(NodeId node, LineId line, Cycle at) {
+  if (slice_of(line) != node) {
+    ++stats_.remote_accesses;
+    return at + remote_penalty_;
+  }
+  return at;
+}
+
+void SharedLlc::install(LineId line) {
+  auto& slice = slices_[slice_of(line)];
+  // LLC copies are always clean (DRAM is current), so victims drop
+  // silently.
+  if (slice.fill(line, cache::LineState::kReadOnly)) ++stats_.evictions;
+}
+
+Cycle SharedLlc::access_line(NodeId node, LineId line, Cycle at, bool write,
+                             Dram& dram) {
+  const Cycle start = slice_start(node, line, at);
+  auto& slice = slices_[slice_of(line)];
+  if (write) {
+    // Writebacks always reach DRAM; a resident copy stays valid
+    // (write-update — data is functionally in the BackingStore).
+    const Cycle done = dram.access(node, start, line_bytes_, true);
+    if (slice.find_touch(line) == nullptr &&
+        alloc_ == cache::LlcAlloc::kOnWriteback) {
+      install(line);
+      ++stats_.writeback_fills;
+    }
+    return done;
+  }
+  if (slice.find_touch(line) != nullptr) {
+    ++stats_.hits;
+    return start + hit_cycles_;
+  }
+  ++stats_.misses;
+  const Cycle done = dram.access(node, start, line_bytes_, false);
+  if (alloc_ == cache::LlcAlloc::kOnRead) {
+    install(line);
+    ++stats_.read_fills;
+  }
+  return done;
+}
+
+Cycle SharedLlc::write_through(NodeId node, LineId line, Cycle at,
+                               std::uint32_t bytes, Dram& dram) {
+  // Partial writes update memory directly; the slice copy (if any)
+  // remains valid under write-update. No allocation.
+  (void)line;
+  return dram.access(node, at, bytes, true);
+}
+
+}  // namespace lrc::mem

@@ -1,0 +1,70 @@
+// Shared, address-sliced last-level cache in front of DRAM.
+//
+// The LLC sits at the memory side of the protocols' dram_line() choke
+// point: a full-line read that hits a slice returns in llc_hit_cycles
+// (plus a hop penalty when the slice is on another node) and never
+// touches DRAM; a miss pays the DRAM access and, under the kOnRead
+// policy, installs the line. Writes — full-line writebacks and partial
+// write-throughs — always reach DRAM, so every LLC copy is clean and
+// memory is always current; that keeps the LLC a pure timing accelerator
+// with no coherence obligations of its own (the simulator's functional
+// data lives in the BackingStore regardless). Writebacks keep a resident
+// copy valid (write-update) and, under kOnWriteback, allocate — a victim
+// cache in front of memory.
+//
+// Modeling simplification (documented in DESIGN.md §9): remote-slice
+// access is a flat per-access penalty rather than routed NIC traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/config.hpp"
+#include "mem/dram.hpp"
+#include "sim/types.hpp"
+
+namespace lrc::mem {
+
+struct LlcStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t read_fills = 0;       // kOnRead installs
+  std::uint64_t writeback_fills = 0;  // kOnWriteback installs
+  std::uint64_t evictions = 0;        // clean drops (silent)
+  std::uint64_t remote_accesses = 0;  // slice != accessing node
+};
+
+class SharedLlc {
+ public:
+  SharedLlc(const cache::CacheConfig& cfg, unsigned nodes,
+            std::uint32_t line_bytes, std::uint64_t seed);
+
+  NodeId slice_of(LineId line) const;
+
+  /// Full-line access from `node` (protocol read or writeback).
+  Cycle access_line(NodeId node, LineId line, Cycle at, bool write,
+                    Dram& dram);
+
+  /// Partial write-through: always DRAM; resident copies stay valid
+  /// (write-update).
+  Cycle write_through(NodeId node, LineId line, Cycle at,
+                      std::uint32_t bytes, Dram& dram);
+
+  const LlcStats& stats() const { return stats_; }
+  unsigned nslices() const { return static_cast<unsigned>(slices_.size()); }
+
+ private:
+  Cycle slice_start(NodeId node, LineId line, Cycle at);
+  void install(LineId line);
+
+  std::vector<cache::Cache> slices_;
+  cache::SliceHash hash_;
+  cache::LlcAlloc alloc_;
+  Cycle hit_cycles_;
+  Cycle remote_penalty_;
+  std::uint32_t line_bytes_;
+  LlcStats stats_;
+};
+
+}  // namespace lrc::mem

@@ -58,9 +58,18 @@ class ProtocolBase : public Protocol {
     return ceil_div(line_bytes(), params().bus_bandwidth);
   }
 
-  /// DRAM access for a full line at `node` starting no earlier than `at`.
-  Cycle dram_line(NodeId node, Cycle at, bool write) {
-    return m_.dram().access(node, at, line_bytes(), write);
+  /// Full-line memory access at `node` starting no earlier than `at`.
+  /// Routes through the shared LLC when one is configured (reads that hit
+  /// a slice skip DRAM; writes always reach DRAM so LLC copies stay
+  /// clean), otherwise straight to DRAM.
+  Cycle dram_line(NodeId node, LineId line, Cycle at, bool write) {
+    return m_.mem_line(node, line, at, write);
+  }
+
+  /// Partial-line write-through to memory (LLC-aware, write-update).
+  Cycle mem_write_through(NodeId node, LineId line, Cycle at,
+                          std::uint32_t bytes) {
+    return m_.mem_partial_write(node, line, at, bytes);
   }
 
   // Per-node flag set by sync-completion callbacks; the blocked fiber's

@@ -41,20 +41,14 @@ void ErcWt::commit_write(NodeId p, LineId line, WordMask words) {
   m_.classifier().on_write_committed(p, line, words);
 }
 
-void ErcWt::do_fill(NodeId p, LineId line, LineState st, Cycle at) {
-  auto& cpu = m_.cpu(p);
-  auto victim = cpu.dcache().fill(line, st);
-  LRCSIM_HOOK(m_, on_fill(p, line));
-  if (victim) {
-    LRCSIM_HOOK(m_, on_copy_dropped(p, victim->line));
-    m_.classifier().on_copy_lost(p, victim->line, /*coherence=*/false);
-    // Lines are never dirty; pending words leave through the coalescing
-    // buffer instead of a writeback.
-    if (auto entry = cpu.cb().pop_line(victim->line)) {
-      send_write_through(p, victim->line, entry->words, at);
-    }
+void ErcWt::evict_victim(NodeId p, const cache::CacheLine& victim, Cycle at) {
+  LRCSIM_HOOK(m_, on_copy_dropped(p, victim.line));
+  m_.classifier().on_copy_lost(p, victim.line, /*coherence=*/false);
+  // Lines are never dirty; pending words leave through the coalescing
+  // buffer instead of a writeback.
+  if (auto entry = m_.cpu(p).cb().pop_line(victim.line)) {
+    send_write_through(p, victim.line, entry->words, at);
   }
-  m_.classifier().on_fill(p, line);
 }
 
 void ErcWt::flush_cb(core::Cpu& cpu) {
@@ -92,7 +86,7 @@ Cycle ErcWt::handle(const Message& msg, Cycle start) {
   switch (msg.kind) {
     case MsgKind::kWriteThrough: {
       const Cycle mem =
-          m_.dram().access(msg.dst, start, msg.payload_bytes, /*write=*/true);
+          mem_write_through(msg.dst, msg.line, start, msg.payload_bytes);
       mesh::Message ack;
       ack.kind = MsgKind::kWriteThroughAck;
       ack.src = msg.dst;

@@ -32,9 +32,9 @@ void Lrc::cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
   auto& cache = cpu.dcache();
 
   // Lazy reads: a locally cached line is usable even if globally Weak.
-  if (cache.find(line) != nullptr) {
+  if (cache.lookup(line, cpu.now()) != nullptr) {
     ++cache.stats().read_hits;
-    cpu.tick(1);
+    cpu.tick(1 + cache.hit_penalty());
     return;
   }
   if (int s = cpu.wb().find(line); s >= 0) {
@@ -94,12 +94,12 @@ void Lrc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
   auto& cache = cpu.dcache();
 
   while (true) {
-    cache::CacheLine* cl = cache.find(line);
+    cache::CacheLine* cl = cache.lookup(line, cpu.now());
     if (cl != nullptr && cl->state == LineState::kReadWrite) {
       ++cache.stats().write_hits;
       cb_add(cpu, line, words, cpu.now());
       note_local_write(p, line, words);
-      cpu.tick(1);
+      cpu.tick(1 + cache.hit_penalty());
       return;
     }
     if (cl != nullptr) {
@@ -112,7 +112,7 @@ void Lrc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
       start_write_req(cpu, line, /*need_data=*/false, -1, words);
       cb_add(cpu, line, words, cpu.now());
       note_local_write(p, line, words);
-      cpu.tick(1);
+      cpu.tick(1 + cache.hit_penalty());
       return;
     }
     // Absent. Coalesce into a pending buffered write if one exists.
@@ -192,20 +192,20 @@ void Lrc::send_write_through(NodeId p, LineId line, WordMask words, Cycle at) {
 }
 
 void Lrc::do_fill(NodeId p, LineId line, LineState st, Cycle at) {
-  auto& cpu = m_.cpu(p);
-  auto victim = cpu.dcache().fill(line, st);
+  m_.cpu(p).dcache().fill(line, st, at);
   LRCSIM_HOOK(m_, on_fill(p, line));
-  if (victim) {
-    LRCSIM_HOOK(m_, on_copy_dropped(p, victim->line));
-    before_line_death(p, victim->line, at);
-    if (auto entry = cpu.cb().pop_line(victim->line)) {
-      send_write_through(p, victim->line, entry->words, at);
-    }
-    send(at, MsgKind::kEvictNotify, p, home_of(victim->line), victim->line);
-    m_.classifier().on_copy_lost(p, victim->line, /*coherence=*/false);
-    pending_inval_[p].erase(victim->line);
-  }
   m_.classifier().on_fill(p, line);
+}
+
+void Lrc::evict_victim(NodeId p, const cache::CacheLine& victim, Cycle at) {
+  LRCSIM_HOOK(m_, on_copy_dropped(p, victim.line));
+  before_line_death(p, victim.line, at);
+  if (auto entry = m_.cpu(p).cb().pop_line(victim.line)) {
+    send_write_through(p, victim.line, entry->words, at);
+  }
+  send(at, MsgKind::kEvictNotify, p, home_of(victim.line), victim.line);
+  m_.classifier().on_copy_lost(p, victim.line, /*coherence=*/false);
+  pending_inval_[p].erase(victim.line);
 }
 
 void Lrc::note_local_write(NodeId p, LineId line, WordMask words) {
@@ -346,7 +346,7 @@ Cycle Lrc::home_read(const Message& msg, Cycle start) {
   }
   e.sharers |= proc_bit(req);
   if (tag & kTagWeak) e.notified |= proc_bit(req);
-  const Cycle mem = dram_line(home, start, /*write=*/false);
+  const Cycle mem = dram_line(home, msg.line, start, /*write=*/false);
   send(std::max(mem, start + cost), MsgKind::kReadReply, home, req, msg.line,
        line_bytes(), tag);
   return cost;
@@ -377,7 +377,7 @@ Cycle Lrc::home_write_req(const Message& msg, Cycle start) {
   if (weak) e.notified |= proc_bit(writer);
 
   if (need_data) {
-    const Cycle mem = dram_line(home, start, /*write=*/false);
+    const Cycle mem = dram_line(home, msg.line, start, /*write=*/false);
     if (depends > 0) {
       e.collections.push_back({writer, depends}, dir_.col_pool());
     } else {
@@ -423,7 +423,7 @@ Cycle Lrc::home_membership_update(const Message& msg, Cycle /*start*/) {
 
 Cycle Lrc::home_write_through(const Message& msg, Cycle start) {
   const Cycle mem =
-      m_.dram().access(msg.dst, start, msg.payload_bytes, /*write=*/true);
+      mem_write_through(msg.dst, msg.line, start, msg.payload_bytes);
   send(mem, MsgKind::kWriteThroughAck, msg.dst, msg.src, msg.line);
   return 1;
 }

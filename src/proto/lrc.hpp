@@ -41,6 +41,13 @@ class Lrc : public ProtocolBase {
   void finalize(core::Cpu& cpu) override;
   Cycle handle(const mesh::Message& msg, Cycle start) override;
 
+  /// Victim-sink target: LRC eviction duties of a displaced line
+  /// (coalescing-buffer flush, home notification, pending-notice cleanup).
+  /// Calls the virtual before_line_death, so the lazier variant's delayed
+  /// notices flush without its own override.
+  void evict_victim(NodeId p, const cache::CacheLine& victim,
+                    Cycle at) override;
+
   /// Lines queued for invalidation at `p`'s next acquire (tests).
   const std::unordered_set<LineId>& pending_invals(NodeId p) const {
     return pending_inval_[p];
@@ -79,8 +86,7 @@ class Lrc : public ProtocolBase {
 
   void send_write_through(NodeId p, LineId line, WordMask words, Cycle at);
 
-  /// Installs a line, handling the LRC eviction duties of the victim
-  /// (coalescing-buffer flush, home notification, pending-notice cleanup).
+  /// Installs a line in `p`'s hierarchy; victims exit via evict_victim.
   void do_fill(NodeId p, LineId line, cache::LineState st, Cycle at);
 
   void drain_for_release(core::Cpu& cpu);

@@ -16,12 +16,12 @@ void LrcExt::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
   auto& cache = cpu.dcache();
 
   while (true) {
-    cache::CacheLine* cl = cache.find(line);
+    cache::CacheLine* cl = cache.lookup(line, cpu.now());
     if (cl != nullptr && cl->state == LineState::kReadWrite) {
       ++cache.stats().write_hits;
       cb_add(cpu, line, words, cpu.now());
       note_local_write(p, line, words);
-      cpu.tick(1);
+      cpu.tick(1 + cache.hit_penalty());
       return;
     }
     if (cl != nullptr) {
@@ -32,7 +32,7 @@ void LrcExt::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
       cl->state = LineState::kReadWrite;
       cb_add(cpu, line, words, cpu.now());
       note_local_write(p, line, words);
-      cpu.tick(1);
+      cpu.tick(1 + cache.hit_penalty());
       return;
     }
     if (cpu.wb().find(line) >= 0) {

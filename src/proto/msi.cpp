@@ -41,9 +41,9 @@ void MsiBase::cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
   auto& cache = cpu.dcache();
 
   while (true) {
-    if (cache.find(line) != nullptr) {
+    if (cache.lookup(line, cpu.now()) != nullptr) {
       ++cache.stats().read_hits;
-      cpu.tick(1);
+      cpu.tick(1 + cache.hit_penalty());
       return;
     }
     // Read bypass: a buffered write to the same words satisfies the read.
@@ -109,11 +109,11 @@ void Sc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
   const WordMask words = words_of(a, bytes);
   auto& cache = cpu.dcache();
 
-  cache::CacheLine* cl = cache.find(line);
+  cache::CacheLine* cl = cache.lookup(line, cpu.now());
   if (cl != nullptr && cl->state == LineState::kReadWrite) {
     ++cache.stats().write_hits;
     commit_write(p, line, words);
-    cpu.tick(1);
+    cpu.tick(1 + cache.hit_penalty());
     return;
   }
 
@@ -140,11 +140,11 @@ void Erc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
   auto& cache = cpu.dcache();
 
   while (true) {
-    cache::CacheLine* cl = cache.find(line);
+    cache::CacheLine* cl = cache.lookup(line, cpu.now());
     if (cl != nullptr && cl->state == LineState::kReadWrite) {
       ++cache.stats().write_hits;
       commit_write(p, line, words);
-      cpu.tick(1);
+      cpu.tick(1 + cache.hit_penalty());
       return;
     }
     // Coalesce into an in-flight buffered write to the same line.
@@ -219,21 +219,24 @@ void MsiBase::commit_write(NodeId p, LineId line, WordMask words) {
 }
 
 void MsiBase::do_fill(NodeId p, LineId line, LineState st, Cycle at) {
-  auto& cpu = m_.cpu(p);
-  auto victim = cpu.dcache().fill(line, st);
+  // Any line the hierarchy displaces out of the node comes back through
+  // evict_victim() below (the machine wires the victim sink there).
+  m_.cpu(p).dcache().fill(line, st, at);
   LRCSIM_HOOK(m_, on_fill(p, line));
-  if (victim) {
-    LRCSIM_HOOK(m_, on_copy_dropped(p, victim->line));
-    m_.classifier().on_copy_lost(p, victim->line, /*coherence=*/false);
-    if (victim->dirty != 0) {
-      send(at, MsgKind::kWritebackData, p, home_of(victim->line), victim->line,
-           line_bytes());
-    }
-    // Clean evictions are silent in the MSI family (DASH-style): the
-    // directory keeps a stale sharer and later invalidations are ack'd
-    // without a copy.
-  }
   m_.classifier().on_fill(p, line);
+}
+
+void MsiBase::evict_victim(NodeId p, const cache::CacheLine& victim,
+                           Cycle at) {
+  LRCSIM_HOOK(m_, on_copy_dropped(p, victim.line));
+  m_.classifier().on_copy_lost(p, victim.line, /*coherence=*/false);
+  if (victim.dirty != 0) {
+    send(at, MsgKind::kWritebackData, p, home_of(victim.line), victim.line,
+         line_bytes());
+  }
+  // Clean evictions are silent in the MSI family (DASH-style): the
+  // directory keeps a stale sharer and later invalidations are ack'd
+  // without a copy.
 }
 
 void MsiBase::unbusy_and_replay(DirEntry& e, Cycle at) {
@@ -296,7 +299,7 @@ Cycle MsiBase::home_read(const Message& msg, Cycle start) {
     case DirState::kShared: {
       e.state = DirState::kShared;
       e.sharers |= proc_bit(req);
-      const Cycle mem = dram_line(home, start, /*write=*/false);
+      const Cycle mem = dram_line(home, msg.line, start, /*write=*/false);
       send(std::max(mem, start + dir_cost()), MsgKind::kReadReply, home, req,
            msg.line, line_bytes());
       return dir_cost();
@@ -310,7 +313,7 @@ Cycle MsiBase::home_read(const Message& msg, Cycle start) {
         e.state = DirState::kShared;
         e.writers = 0;
         e.sharers = proc_bit(req);
-        const Cycle mem = dram_line(home, start, false);
+        const Cycle mem = dram_line(home, msg.line, start, false);
         send(std::max(mem, start + dir_cost()), MsgKind::kReadReply, home, req,
              msg.line, line_bytes());
         return dir_cost();
@@ -347,7 +350,7 @@ Cycle MsiBase::home_write(const Message& msg, Cycle start) {
       e.state = DirState::kDirty;
       e.sharers = proc_bit(req);
       e.writers = proc_bit(req);
-      const Cycle mem = dram_line(home, start, false);
+      const Cycle mem = dram_line(home, msg.line, start, false);
       send(std::max(mem, start + dir_cost()), MsgKind::kReadExReply, home, req,
            msg.line, line_bytes());
       return dir_cost();
@@ -361,7 +364,7 @@ Cycle MsiBase::home_write(const Message& msg, Cycle start) {
         if (upgrade) {
           send(start + dir_cost(), MsgKind::kUpgradeAck, home, req, msg.line);
         } else {
-          const Cycle mem = dram_line(home, start, false);
+          const Cycle mem = dram_line(home, msg.line, start, false);
           send(std::max(mem, start + dir_cost()), MsgKind::kReadExReply, home,
                req, msg.line, line_bytes());
         }
@@ -371,7 +374,7 @@ Cycle MsiBase::home_write(const Message& msg, Cycle start) {
       e.pending_requester = req;
       e.pending_kind = upgrade ? MsgKind::kUpgradeReq : MsgKind::kReadExReq;
       e.pending_acks = static_cast<unsigned>(std::popcount(targets));
-      e.pending_mem_done = upgrade ? 0 : dram_line(home, start, false);
+      e.pending_mem_done = upgrade ? 0 : dram_line(home, msg.line, start, false);
       for (NodeId t = 0; t < m_.nprocs(); ++t) {
         if (targets & proc_bit(t)) {
           send(start + dir_cost(), MsgKind::kInval, home, t, msg.line);
@@ -385,7 +388,7 @@ Cycle MsiBase::home_write(const Message& msg, Cycle start) {
         // Owner lost its copy silently; memory is current (FIFO argument).
         e.sharers = proc_bit(req);
         e.writers = proc_bit(req);
-        const Cycle mem = dram_line(home, start, false);
+        const Cycle mem = dram_line(home, msg.line, start, false);
         send(std::max(mem, start + dir_cost()), MsgKind::kReadExReply, home,
              req, msg.line, line_bytes());
         return dir_cost();
@@ -408,7 +411,7 @@ Cycle MsiBase::home_writeback(const Message& msg, Cycle start) {
   const NodeId home = msg.dst;
   const NodeId writer = msg.src;
   DirEntry& e = dir_.entry(msg.line);
-  const Cycle mem = dram_line(home, start, /*write=*/true);
+  const Cycle mem = dram_line(home, msg.line, start, /*write=*/true);
 
   if (e.busy && (e.pending_kind == MsgKind::kFwdReadReq ||
                  e.pending_kind == MsgKind::kFwdReadExReq) &&
@@ -447,7 +450,7 @@ Cycle MsiBase::home_sharing_wb(const Message& msg, Cycle start) {
   const NodeId home = msg.dst;
   const NodeId owner = msg.src;
   DirEntry& e = dir_.entry(msg.line);
-  dram_line(home, start, /*write=*/true);
+  dram_line(home, msg.line, start, /*write=*/true);
   assert(e.busy && e.pending_kind == MsgKind::kFwdReadReq);
   e.state = DirState::kShared;
   e.writers = 0;
@@ -482,7 +485,7 @@ Cycle MsiBase::home_inval_ack(const Message& msg, Cycle start) {
     }
     const NodeId req = e.pending_requester;
     const NodeId home = msg.dst;
-    const Cycle mem = dram_line(home, start, /*write=*/false);
+    const Cycle mem = dram_line(home, msg.line, start, /*write=*/false);
     if (e.pending_kind == MsgKind::kFwdReadReq) {
       e.state = DirState::kShared;
       e.sharers = proc_bit(req);

@@ -22,6 +22,11 @@ class MsiBase : public ProtocolBase {
   void finalize(core::Cpu& cpu) override;
   Cycle handle(const mesh::Message& msg, Cycle start) override;
 
+  /// Victim-sink target: a line left `p`'s private stack. Writes back
+  /// dirty data; clean evictions are silent (DASH-style stale sharers).
+  void evict_victim(NodeId p, const cache::CacheLine& victim,
+                    Cycle at) override;
+
  protected:
   Cycle dir_cost() const { return params().erc_dir_cost; }
 
@@ -96,9 +101,13 @@ class ErcWt final : public Erc {
   void finalize(core::Cpu& cpu) override;
   Cycle handle(const mesh::Message& msg, Cycle start) override;
 
+  /// Write-through victims owe any coalescing-buffer words to memory
+  /// (they carry no dirty data — the cache never holds dirty words).
+  void evict_victim(NodeId p, const cache::CacheLine& victim,
+                    Cycle at) override;
+
  protected:
   void drain(core::Cpu& cpu) override;
-  void do_fill(NodeId p, LineId line, cache::LineState st, Cycle at) override;
   void commit_write(NodeId p, LineId line, WordMask words) override;
 
  private:

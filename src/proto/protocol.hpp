@@ -16,6 +16,10 @@ class Machine;
 enum class ProtocolKind : std::uint8_t;
 }  // namespace lrc::core
 
+namespace lrc::cache {
+struct CacheLine;
+}  // namespace lrc::cache
+
 namespace lrc::proto {
 
 class Protocol {
@@ -50,6 +54,14 @@ class Protocol {
   /// Processes `msg` at its destination's protocol processor starting at
   /// `start`; returns the processor-occupancy cost in cycles.
   virtual Cycle handle(const mesh::Message& msg, Cycle start) = 0;
+
+  /// A valid line left processor `p`'s private cache stack entirely
+  /// (displaced by a fill or a hierarchy-internal demotion cascade). The
+  /// protocol issues the same transactions a coherence invalidation would
+  /// need: writebacks for dirty data, eviction notices where membership is
+  /// tracked exactly. Runs in whichever context performed the fill.
+  virtual void evict_victim(NodeId p, const cache::CacheLine& victim,
+                            Cycle at) = 0;
 };
 
 /// Factory used by core::Machine.

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "sim/rng.hpp"
+
 namespace lrc::cache {
 namespace {
 
@@ -92,6 +98,122 @@ TEST(Cache, RejectsBadGeometry) {
   EXPECT_THROW(Cache(1000, 128), std::invalid_argument);
   EXPECT_THROW(Cache(128, 100), std::invalid_argument);
   EXPECT_THROW(Cache(64, 128), std::invalid_argument);
+  // Geometry factory: non-pow-2 ways and ways exceeding the line count.
+  EXPECT_THROW(CacheGeometry::make(1024, 128, 3), std::invalid_argument);
+  EXPECT_THROW(CacheGeometry::make(1024, 128, 16), std::invalid_argument);
+}
+
+// ---- Replacement policies ---------------------------------------------------
+
+// Drives the same conflict-heavy access sequence through a cache and
+// records every victim line (in order).
+std::vector<LineId> victim_sequence(Cache& c, unsigned accesses,
+                                    std::uint64_t seq_seed) {
+  sim::Rng rng(seq_seed);
+  std::vector<LineId> victims;
+  for (unsigned i = 0; i < accesses; ++i) {
+    // One set (set 0 of 2 sets), many conflicting lines.
+    const LineId line = rng.below(12) * c.num_sets();
+    if (CacheLine* l = c.find_touch(line)) {
+      (void)l;
+      continue;
+    }
+    if (auto v = c.fill(line, LineState::kReadOnly)) victims.push_back(v->line);
+  }
+  return victims;
+}
+
+TEST(Replacement, RandomIsDeterministicPerSeed) {
+  const auto geo = CacheGeometry::make(1024, 128, 4);  // 2 sets x 4 ways
+  Cache a(geo, ReplacementKind::kRandom, /*seed=*/42);
+  Cache b(geo, ReplacementKind::kRandom, /*seed=*/42);
+  Cache other(geo, ReplacementKind::kRandom, /*seed=*/43);
+  const auto va = victim_sequence(a, 400, 7);
+  const auto vb = victim_sequence(b, 400, 7);
+  const auto vo = victim_sequence(other, 400, 7);
+  ASSERT_FALSE(va.empty());
+  EXPECT_EQ(va, vb) << "same seed must give an identical victim sequence";
+  EXPECT_NE(va, vo) << "different seeds should explore different victims";
+}
+
+TEST(Replacement, RandomVictimForPredictsFill) {
+  // victim_for peeks the RNG without advancing it: the prediction must
+  // match the victim the next fill actually evicts, every time.
+  const auto geo = CacheGeometry::make(1024, 128, 4);
+  Cache c(geo, ReplacementKind::kRandom, /*seed=*/9);
+  sim::Rng rng(31);
+  for (unsigned i = 0; i < 300; ++i) {
+    const LineId line = rng.below(12) * c.num_sets();
+    if (c.find(line) != nullptr) continue;
+    const CacheLine* peek = c.victim_for(line);
+    const auto predicted =
+        peek != nullptr ? std::optional<LineId>(peek->line) : std::nullopt;
+    const auto victim = c.fill(line, LineState::kReadOnly);
+    const auto actual =
+        victim ? std::optional<LineId>(victim->line) : std::nullopt;
+    ASSERT_EQ(predicted, actual) << "at access " << i;
+  }
+}
+
+TEST(Replacement, LruMatchesReferenceModel) {
+  // Reference model: per set, a recency-ordered list of resident lines.
+  const auto geo = CacheGeometry::make(2048, 128, 4);  // 4 sets x 4 ways
+  Cache c(geo, ReplacementKind::kLru, /*seed=*/0);
+  std::vector<std::vector<LineId>> model(c.num_sets());  // front = LRU
+  sim::Rng rng(123);
+  for (unsigned i = 0; i < 1000; ++i) {
+    const LineId line = rng.below(64);
+    auto& set = model[line % c.num_sets()];
+    const auto it = std::find(set.begin(), set.end(), line);
+    if (it != set.end()) {
+      // Hit: model moves to MRU; cache touches recency.
+      set.erase(it);
+      set.push_back(line);
+      ASSERT_NE(c.find_touch(line), nullptr);
+      continue;
+    }
+    ASSERT_EQ(c.find_touch(line), nullptr);
+    const auto victim = c.fill(line, LineState::kReadOnly);
+    if (set.size() == geo.ways) {
+      ASSERT_TRUE(victim.has_value());
+      EXPECT_EQ(victim->line, set.front()) << "LRU victim mismatch at " << i;
+      set.erase(set.begin());
+    } else {
+      EXPECT_FALSE(victim.has_value());
+    }
+    set.push_back(line);
+  }
+}
+
+TEST(Replacement, FifoIgnoresRecencyTouches) {
+  const auto geo = CacheGeometry::make(512, 128, 4);  // 1 set x 4 ways
+  Cache c(geo, ReplacementKind::kFifo, /*seed=*/0);
+  for (LineId l = 0; l < 4; ++l) c.fill(l, LineState::kReadOnly);
+  // Touch the oldest line repeatedly; FIFO must still evict it first.
+  for (int i = 0; i < 10; ++i) ASSERT_NE(c.find_touch(0), nullptr);
+  auto victim = c.fill(100, LineState::kReadOnly);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->line, 0u);
+  // Under LRU the same history keeps line 0 (line 1 is evicted instead).
+  Cache lru(geo, ReplacementKind::kLru, /*seed=*/0);
+  for (LineId l = 0; l < 4; ++l) lru.fill(l, LineState::kReadOnly);
+  for (int i = 0; i < 10; ++i) ASSERT_NE(lru.find_touch(0), nullptr);
+  auto lru_victim = lru.fill(100, LineState::kReadOnly);
+  ASSERT_TRUE(lru_victim.has_value());
+  EXPECT_EQ(lru_victim->line, 1u);
+}
+
+TEST(Replacement, InvalidWaysFillBeforeAnyEviction) {
+  const auto geo = CacheGeometry::make(512, 128, 4);
+  for (auto kind : {ReplacementKind::kLru, ReplacementKind::kFifo,
+                    ReplacementKind::kRandom}) {
+    Cache c(geo, kind, /*seed=*/5);
+    for (LineId l = 0; l < 4; ++l) {
+      EXPECT_FALSE(c.fill(l, LineState::kReadOnly).has_value())
+          << to_string(kind);
+    }
+    EXPECT_EQ(c.stats().evictions, 0u) << to_string(kind);
+  }
 }
 
 class CacheGeometry

@@ -7,6 +7,7 @@
 
 #include <tuple>
 
+#include "cache/config.hpp"
 #include "core/machine.hpp"
 
 namespace lrc::core {
@@ -73,6 +74,84 @@ INSTANTIATE_TEST_SUITE_P(
                                          ProtocolKind::kLRC,
                                          ProtocolKind::kLRCExt)),
     geometry_name);
+
+// Hierarchy dimension of the sweep: the same workload must also compute
+// the same result when the private stack deepens (2-level inclusive /
+// exclusive, and 3-level with a sliced shared LLC). Timing may change;
+// values may not.
+using HierGeometry = std::tuple<int /*config*/, ProtocolKind>;
+
+cache::CacheConfig hier_sweep_config(int idx) {
+  switch (idx) {
+    case 0:
+      return cache::CacheConfig::with_l2(16 * 1024, 4,
+                                         cache::InclusionPolicy::kInclusive);
+    case 1:
+      return cache::CacheConfig::with_l2(16 * 1024, 4,
+                                         cache::InclusionPolicy::kExclusive);
+    default: {
+      auto c = cache::CacheConfig::with_l2(16 * 1024, 4,
+                                           cache::InclusionPolicy::kInclusive);
+      c.add_llc(32 * 1024, 4, cache::SliceHash::kXorFold);
+      return c;
+    }
+  }
+}
+
+std::string hier_name(const ::testing::TestParamInfo<HierGeometry>& info) {
+  const auto [idx, kind] = info.param;
+  const char* cfg = idx == 0 ? "l2incl" : idx == 1 ? "l2excl" : "l2llc";
+  std::string n = std::string(cfg) + "_" + std::string(to_string(kind));
+  for (auto& ch : n) {
+    if (ch == '-') ch = '_';
+  }
+  return n;
+}
+
+class HierarchySweep : public ::testing::TestWithParam<HierGeometry> {};
+
+TEST_P(HierarchySweep, FixedWorkloadComputesSameResult) {
+  const auto [idx, kind] = GetParam();
+  auto params = SystemParams::paper_default(4);
+  params.cache_bytes = 4096;
+  params.cache = hier_sweep_config(idx);
+  Machine m(params, kind);
+
+  auto arr = m.alloc<double>(512, "a");
+  auto partial = m.alloc<double>(4 * 16, "partial");
+  m.run([&](Cpu& cpu) {
+    for (std::size_t i = cpu.id(); i < arr.size(); i += cpu.nprocs()) {
+      arr.put(cpu, i, static_cast<double>(i % 7));
+    }
+    cpu.barrier(0);
+    double sum = 0;
+    for (std::size_t i = 0; i < arr.size(); ++i) sum += arr.get(cpu, i);
+    partial.put(cpu, cpu.id() * 16, sum);
+    cpu.lock(1);
+    cpu.unlock(1);
+    cpu.barrier(0);
+  });
+
+  double expected = 0;
+  for (std::size_t i = 0; i < 512; ++i) expected += static_cast<double>(i % 7);
+  for (unsigned p = 0; p < 4; ++p) {
+    EXPECT_DOUBLE_EQ(m.peek<double>(partial.addr(p * 16)), expected)
+        << "proc " << p;
+  }
+  for (NodeId p = 0; p < m.nprocs(); ++p) {
+    EXPECT_EQ(m.cpu(p).breakdown().total(), m.cpu(p).now());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Hierarchies, HierarchySweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(ProtocolKind::kSC,
+                                         ProtocolKind::kERC,
+                                         ProtocolKind::kERCWT,
+                                         ProtocolKind::kLRC,
+                                         ProtocolKind::kLRCExt)),
+    hier_name);
 
 TEST(GeometryMonotonicity, BiggerCachesNeverMissMore) {
   // Single processor, fixed reference stream: misses must be monotonically

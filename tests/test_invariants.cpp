@@ -26,9 +26,11 @@ struct WorkloadSpec {
 // reads anywhere, and increments lock-protected counters. Returns a
 // checksum of the final shared memory.
 std::uint64_t run_random_program(ProtocolKind kind, const WorkloadSpec& spec,
-                                 Machine** out = nullptr) {
+                                 Machine** out = nullptr,
+                                 const cache::CacheConfig* cache_cfg = nullptr) {
   static std::vector<std::unique_ptr<Machine>> keep_alive;
   auto params = SystemParams::test_scale(spec.nprocs);
+  if (cache_cfg != nullptr) params.cache = *cache_cfg;
   auto m = std::make_unique<Machine>(params, kind);
   constexpr unsigned kSlice = 64;  // doubles per processor
   auto data = m->alloc<double>(spec.nprocs * kSlice, "slices");
@@ -149,6 +151,34 @@ TEST_P(RandomProgram, DirectoryConsistentAfterDrain) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgram,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// A race-free program's final memory is independent of the cache geometry:
+// every protocol must compute the single-L1 result under 2-level inclusive
+// and exclusive private stacks too, and the directory must still agree with
+// the (hierarchy-wide) cached copies once drained.
+TEST_P(RandomProgram, HierarchyConfigsComputeTheSameResult) {
+  WorkloadSpec spec{8, 120, 40, GetParam()};
+  const std::uint64_t expected = run_random_program(ProtocolKind::kSC, spec);
+  const cache::CacheConfig configs[] = {
+      cache::CacheConfig::with_l2(16 * 1024, 4,
+                                  cache::InclusionPolicy::kInclusive),
+      cache::CacheConfig::with_l2(16 * 1024, 4,
+                                  cache::InclusionPolicy::kExclusive),
+  };
+  for (const auto& cfg : configs) {
+    for (auto kind : kAll) {
+      Machine* m = nullptr;
+      EXPECT_EQ(run_random_program(kind, spec, &m, &cfg), expected)
+          << "protocol " << to_string(kind) << " diverged under a "
+          << (cfg.inclusion == cache::InclusionPolicy::kInclusive
+                  ? "2-level inclusive"
+                  : "2-level exclusive")
+          << " hierarchy";
+      ASSERT_NE(m, nullptr);
+      check_directory_consistency(*m);
+    }
+  }
+}
 
 TEST(Invariants, BreakdownAlwaysSumsToLocalTime) {
   for (auto kind : kAll) {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/config.hpp"
 #include "check/litmus.hpp"
 
 namespace {
@@ -17,6 +18,10 @@ namespace {
 using lrc::check::LitmusProgram;
 using lrc::check::LitmusResult;
 using lrc::core::ProtocolKind;
+
+constexpr ProtocolKind kAllKinds[] = {ProtocolKind::kSC, ProtocolKind::kERC,
+                                      ProtocolKind::kERCWT, ProtocolKind::kLRC,
+                                      ProtocolKind::kLRCExt};
 
 std::vector<std::string> litmus_files() {
   std::vector<std::string> files;
@@ -59,6 +64,52 @@ TEST(Litmus, ERC) { run_all_under(ProtocolKind::kERC); }
 TEST(Litmus, ERCWT) { run_all_under(ProtocolKind::kERCWT); }
 TEST(Litmus, LRC) { run_all_under(ProtocolKind::kLRC); }
 TEST(Litmus, LRCExt) { run_all_under(ProtocolKind::kLRCExt); }
+
+// The consistency obligations must hold for every cache geometry, not just
+// the default single L1: the whole corpus re-runs under 2-level private
+// stacks (both inclusion policies) for all five protocols. In LRCSIM_CHECK
+// builds the checker additionally asserts the inclusion/exclusion contract
+// after every handled message and at end of run.
+void run_all_under_hier(const lrc::cache::CacheConfig& cfg) {
+  const auto files = litmus_files();
+  ASSERT_GE(files.size(), 12u) << "litmus corpus went missing";
+  for (auto kind : kAllKinds) {
+    for (const auto& path : files) {
+      const LitmusProgram prog = LitmusProgram::parse_file(path);
+      for (std::uint64_t seed : {1, 2, 3}) {
+        const LitmusResult res = lrc::check::run_litmus(prog, kind, seed, cfg);
+        for (const auto& f : res.failures) {
+          ADD_FAILURE() << f << " (hier, " << lrc::core::to_string(kind)
+                        << ", seed " << seed << ")";
+        }
+        if (res.checker_active) {
+          for (const auto& v : res.violations) {
+            ADD_FAILURE() << prog.name << " under "
+                          << lrc::core::to_string(kind) << " (hier, seed "
+                          << seed << "): checker violation: " << v;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(LitmusHierarchy, TwoLevelInclusive) {
+  // Random L1 replacement exercises the seeded-RNG victim path as well.
+  auto cfg = lrc::cache::CacheConfig::with_l2(
+      16 * 1024, 4, lrc::cache::InclusionPolicy::kInclusive);
+  cfg.l1_ways = 2;
+  cfg.l1_replacement = lrc::cache::ReplacementKind::kRandom;
+  run_all_under_hier(cfg);
+}
+
+TEST(LitmusHierarchy, TwoLevelExclusiveWithLlc) {
+  auto cfg = lrc::cache::CacheConfig::with_l2(
+                 16 * 1024, 4, lrc::cache::InclusionPolicy::kExclusive)
+                 .add_llc(16 * 1024, 4);
+  cfg.l2_replacement = lrc::cache::ReplacementKind::kFifo;
+  run_all_under_hier(cfg);
+}
 
 // The parser rejects malformed programs with a location.
 TEST(Litmus, ParserRejectsGarbage) {

@@ -41,6 +41,104 @@ TEST(Params, DescribeMentionsEveryTableEntry) {
   }
 }
 
+// ---- Geometry validation (Machine construction calls validate()) -----------
+
+// Each rejection throws std::invalid_argument naming the offending field.
+void expect_rejected(const SystemParams& p, const char* field) {
+  try {
+    p.validate();
+    ADD_FAILURE() << "expected rejection for " << field;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+        << "error message should name " << field << ", got: " << e.what();
+  }
+}
+
+TEST(ParamsValidate, RejectsNonPow2CacheBytes) {
+  auto p = SystemParams::test_scale(2);
+  p.cache_bytes = 3000;
+  expect_rejected(p, "cache_bytes");
+}
+
+TEST(ParamsValidate, RejectsNonPow2LineBytes) {
+  auto p = SystemParams::test_scale(2);
+  p.line_bytes = 100;
+  expect_rejected(p, "line_bytes");
+}
+
+TEST(ParamsValidate, RejectsLineLargerThanPage) {
+  auto p = SystemParams::test_scale(2);
+  p.line_bytes = 2 * p.page_bytes;
+  expect_rejected(p, "page_bytes");
+}
+
+TEST(ParamsValidate, RejectsNonPow2L1Ways) {
+  auto p = SystemParams::test_scale(2);
+  p.cache.l1_ways = 3;
+  expect_rejected(p, "l1_ways");
+}
+
+TEST(ParamsValidate, RejectsL1WaysBeyondLineCount) {
+  auto p = SystemParams::test_scale(2);
+  p.cache_bytes = 256;
+  p.line_bytes = 128;
+  p.cache.l1_ways = 4;  // only 2 lines exist
+  expect_rejected(p, "l1_ways");
+}
+
+TEST(ParamsValidate, RejectsNonPow2L2Geometry) {
+  auto p = SystemParams::test_scale(2);
+  p.cache = cache::CacheConfig::with_l2(48 * 1024, 8,
+                                        cache::InclusionPolicy::kInclusive);
+  expect_rejected(p, "l2_bytes");
+  p.cache = cache::CacheConfig::with_l2(64 * 1024, 6,
+                                        cache::InclusionPolicy::kInclusive);
+  expect_rejected(p, "l2_ways");
+}
+
+TEST(ParamsValidate, RejectsInclusiveL2SmallerThanL1) {
+  auto p = SystemParams::test_scale(2);  // 4 KB L1
+  p.cache = cache::CacheConfig::with_l2(2 * 1024, 4,
+                                        cache::InclusionPolicy::kInclusive);
+  expect_rejected(p, "l2_bytes");
+  // The same shape is legal for an exclusive boundary.
+  p.cache.inclusion = cache::InclusionPolicy::kExclusive;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ParamsValidate, RejectsBadLlcGeometry) {
+  auto p = SystemParams::test_scale(2);
+  p.cache = cache::CacheConfig::l1_only().add_llc(100 * 1000, 8);
+  expect_rejected(p, "llc_slice_bytes");
+  p.cache = cache::CacheConfig::l1_only().add_llc(64 * 1024, 12);
+  expect_rejected(p, "llc_ways");
+}
+
+TEST(ParamsValidate, MachineConstructionRejectsBadGeometry) {
+  auto p = SystemParams::test_scale(2);
+  p.cache_bytes = 3000;
+  EXPECT_THROW(Machine(p, ProtocolKind::kLRC), std::invalid_argument);
+}
+
+TEST(ParamsValidate, AcceptsAllPresets) {
+  EXPECT_NO_THROW(SystemParams::paper_default().validate());
+  EXPECT_NO_THROW(SystemParams::future_machine().validate());
+  EXPECT_NO_THROW(SystemParams::test_scale(4).validate());
+  auto p = SystemParams::paper_default();
+  p.cache = cache::CacheConfig::paper_l2();
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Params, DescribeMentionsHierarchyLevels) {
+  auto p = SystemParams::paper_default();
+  p.cache = cache::CacheConfig::paper_l2().add_llc(512 * 1024, 8);
+  const std::string d = p.describe();
+  for (const char* needle : {"L1 cache", "L2 cache", "shared LLC", "1024 Kbytes",
+                             "8-way", "inclusive", "interleaved"}) {
+    EXPECT_NE(d.find(needle), std::string::npos) << needle;
+  }
+}
+
 TEST(Params, ProtocolNames) {
   EXPECT_EQ(to_string(ProtocolKind::kSC), "SC");
   EXPECT_EQ(to_string(ProtocolKind::kERC), "ERC");
@@ -83,6 +181,29 @@ TEST(Report, ExecutionTimeIsMaxOverProcessors) {
   Machine m(SystemParams::test_scale(4), ProtocolKind::kSC);
   m.run([&](Cpu& cpu) { cpu.compute(100 * (cpu.id() + 1)); });
   EXPECT_EQ(m.report().execution_time, 400u);
+}
+
+TEST(Report, PerLevelLinesOnlyForMultiLevelConfigs) {
+  auto run_summary = [](const cache::CacheConfig& cfg) {
+    auto p = SystemParams::test_scale(2);
+    p.cache = cfg;
+    Machine m(p, ProtocolKind::kLRC);
+    auto arr = m.alloc<double>(64, "a");
+    m.run([&](Cpu& cpu) {
+      for (std::size_t i = 0; i < arr.size(); ++i) (void)arr.get(cpu, i);
+    });
+    return m.report().summary();
+  };
+  const std::string flat = run_summary(cache::CacheConfig::l1_only());
+  EXPECT_EQ(flat.find("L2:"), std::string::npos)
+      << "single-level summary must keep the pre-hierarchy format";
+  const std::string deep = run_summary(cache::CacheConfig::with_l2(
+      16 * 1024, 4, cache::InclusionPolicy::kInclusive));
+  EXPECT_NE(deep.find("L1:"), std::string::npos);
+  EXPECT_NE(deep.find("L2:"), std::string::npos);
+  const std::string llc = run_summary(
+      cache::CacheConfig::l1_only().add_llc(16 * 1024, 4));
+  EXPECT_NE(llc.find("LLC:"), std::string::npos);
 }
 
 }  // namespace
