@@ -1,18 +1,22 @@
 #!/usr/bin/env python3
-"""Fail when docs/PROTOCOL.md and the protocol sources drift apart.
+"""Fail when the reference docs and the sources drift apart.
 
-Checks, in both directions:
+Checked docs: docs/PROTOCOL.md (protocol states/messages/tags),
+docs/MODELCHECK.md (explorer + mutation hooks), docs/VERIFICATION.md
+(layer map). For each, in both directions where applicable:
 
-  1. Every DirState member (src/proto/directory.hpp), MsgKind member
-     (src/mesh/message.hpp), and kTag* constant (src/proto/*.{hpp,cpp})
-     must be mentioned in docs/PROTOCOL.md.
-  2. Every `kSomething` token used in docs/PROTOCOL.md must exist in the
-     union of those code-side names — a renamed or deleted state/message
-     makes the doc reference fail here.
-  3. Every `src/<path>:<line>` anchor in docs/PROTOCOL.md must point at an
-     existing file, and when the anchor names a symbol — the form is
-     `src/foo.cpp:123` (`symbol`) — that symbol must occur within +/-40
-     lines of the anchored line, so anchors rot loudly, not silently.
+  1. Forward: every DirState member (src/proto/directory.hpp), MsgKind
+     member (src/mesh/message.hpp), and kTag* constant (src/proto/*) must
+     be mentioned in docs/PROTOCOL.md; every Mutation member
+     (src/check/checker.hpp) must be mentioned in docs/MODELCHECK.md.
+  2. Reverse: every `kSomething` token used in a checked doc must exist in
+     the union of the code-side names — a renamed or deleted state,
+     message, or mutation makes the doc reference fail here.
+  3. Every `<dir>/<path>:<line>` anchor (dir in src/tools/tests/bench)
+     must point at an existing file, and when the anchor names a symbol —
+     the form is `src/foo.cpp:123` (`symbol`) — that symbol must occur
+     within +/-40 lines of the anchored line, so anchors rot loudly, not
+     silently.
 
 Run from the repository root:  python3 scripts/check_doc_drift.py
 """
@@ -22,7 +26,11 @@ import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
-DOC = ROOT / "docs" / "PROTOCOL.md"
+DOCS = [
+    ROOT / "docs" / "PROTOCOL.md",
+    ROOT / "docs" / "MODELCHECK.md",
+    ROOT / "docs" / "VERIFICATION.md",
+]
 ANCHOR_SLACK = 40  # lines a symbol may move before an anchor is stale
 
 
@@ -51,46 +59,62 @@ def parse_tags() -> set[str]:
     return tags
 
 
-def check_forward(doc_text: str, names: set[str], what: str) -> list[str]:
+def parse_constants(path: Path) -> set[str]:
+    """constexpr k* constants in one source file (e.g. Event::kNoActor)."""
+    names: set[str] = set()
+    for line in path.read_text().splitlines():
+        m = re.search(r"constexpr\s+[^=]*?\b(k[A-Z][A-Za-z0-9]*)\s*=", line)
+        if m:
+            names.add(m.group(1))
+    return names
+
+
+def check_forward(
+    doc: Path, doc_text: str, names: set[str], what: str
+) -> list[str]:
+    rel = doc.relative_to(ROOT)
     return [
-        f"{what} {name} is not documented in docs/PROTOCOL.md"
+        f"{what} {name} is not documented in {rel}"
         for name in sorted(names)
         if re.search(r"\b" + name + r"\b", doc_text) is None
     ]
 
 
-def check_reverse(doc_text: str, known: set[str]) -> list[str]:
+def check_reverse(doc: Path, doc_text: str, known: set[str]) -> list[str]:
+    rel = doc.relative_to(ROOT)
     errors = []
     for lineno, line in enumerate(doc_text.splitlines(), start=1):
         for tok in re.findall(r"\b(k[A-Z][A-Za-z0-9]*)\b", line):
             if tok not in known:
                 errors.append(
-                    f"docs/PROTOCOL.md:{lineno}: {tok} does not exist in the "
-                    "protocol sources (renamed or removed?)"
+                    f"{rel}:{lineno}: {tok} does not exist in the "
+                    "sources (renamed or removed?)"
                 )
     return errors
 
 
 ANCHOR_RE = re.compile(
-    r"`(src/[A-Za-z0-9_/.]+\.(?:cpp|hpp)):(\d+)`(?:\s*\(`([A-Za-z_][A-Za-z0-9_]*)`\))?"
+    r"`((?:src|tools|tests|bench)/[A-Za-z0-9_/.]+\.(?:cpp|hpp)):(\d+)`"
+    r"(?:\s*\(`([A-Za-z_][A-Za-z0-9_]*)`\))?"
 )
 
 
-def check_anchors(doc_text: str) -> list[str]:
+def check_anchors(doc: Path, doc_text: str) -> list[str]:
+    rel = doc.relative_to(ROOT)
     errors = []
     for lineno, line in enumerate(doc_text.splitlines(), start=1):
         for path_str, line_str, symbol in ANCHOR_RE.findall(line):
             target = ROOT / path_str
             if not target.is_file():
                 errors.append(
-                    f"docs/PROTOCOL.md:{lineno}: anchor {path_str} does not exist"
+                    f"{rel}:{lineno}: anchor {path_str} does not exist"
                 )
                 continue
             src_lines = target.read_text().splitlines()
             n = int(line_str)
             if n < 1 or n > len(src_lines):
                 errors.append(
-                    f"docs/PROTOCOL.md:{lineno}: anchor {path_str}:{n} is past "
+                    f"{rel}:{lineno}: anchor {path_str}:{n} is past "
                     f"the end of the file ({len(src_lines)} lines)"
                 )
                 continue
@@ -100,7 +124,7 @@ def check_anchors(doc_text: str) -> list[str]:
                 window = "\n".join(src_lines[lo:hi])
                 if re.search(r"\b" + re.escape(symbol) + r"\b", window) is None:
                     errors.append(
-                        f"docs/PROTOCOL.md:{lineno}: anchor {path_str}:{n} "
+                        f"{rel}:{lineno}: anchor {path_str}:{n} "
                         f"names `{symbol}` but it is not within "
                         f"{ANCHOR_SLACK} lines of that location"
                     )
@@ -108,21 +132,36 @@ def check_anchors(doc_text: str) -> list[str]:
 
 
 def main() -> int:
-    if not DOC.is_file():
-        sys.exit("error: docs/PROTOCOL.md not found (run from the repo root)")
-    doc_text = DOC.read_text()
+    texts = {}
+    for doc in DOCS:
+        if not doc.is_file():
+            sys.exit(
+                f"error: {doc.relative_to(ROOT)} not found "
+                "(run from the repo root)"
+            )
+        texts[doc] = doc.read_text()
 
     dir_states = parse_enum(ROOT / "src" / "proto" / "directory.hpp", "DirState")
     msg_kinds = parse_enum(ROOT / "src" / "mesh" / "message.hpp", "MsgKind")
+    mutations = parse_enum(ROOT / "src" / "check" / "checker.hpp", "Mutation")
     tags = parse_tags()
-    known = dir_states | msg_kinds | tags
+    event_consts = parse_constants(ROOT / "src" / "sim" / "event.hpp")
+    known = dir_states | msg_kinds | mutations | tags | event_consts
 
+    proto_doc, mc_doc, _ = DOCS
     errors = []
-    errors += check_forward(doc_text, dir_states, "directory state")
-    errors += check_forward(doc_text, msg_kinds, "message kind")
-    errors += check_forward(doc_text, tags, "protocol tag")
-    errors += check_reverse(doc_text, known)
-    errors += check_anchors(doc_text)
+    errors += check_forward(proto_doc, texts[proto_doc], dir_states,
+                            "directory state")
+    errors += check_forward(proto_doc, texts[proto_doc], msg_kinds,
+                            "message kind")
+    errors += check_forward(proto_doc, texts[proto_doc], tags, "protocol tag")
+    # Every deliberate mutation must be documented where the explorer's
+    # catching power is claimed (kNone is the off switch, not a mutation).
+    errors += check_forward(mc_doc, texts[mc_doc], mutations - {"kNone"},
+                            "protocol mutation")
+    for doc in DOCS:
+        errors += check_reverse(doc, texts[doc], known)
+        errors += check_anchors(doc, texts[doc])
 
     if errors:
         print(f"doc drift: {len(errors)} problem(s)")
@@ -130,10 +169,11 @@ def main() -> int:
             print("  " + e)
         return 1
 
-    n_anchors = len(ANCHOR_RE.findall(doc_text))
+    n_anchors = sum(len(ANCHOR_RE.findall(t)) for t in texts.values())
     print(
         f"doc drift: OK ({len(dir_states)} states, {len(msg_kinds)} message "
-        f"kinds, {len(tags)} tags, {n_anchors} anchors checked)"
+        f"kinds, {len(tags)} tags, {len(mutations) - 1} mutations, "
+        f"{n_anchors} anchors checked)"
     )
     return 0
 

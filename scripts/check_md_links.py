@@ -18,6 +18,15 @@ ROOT = Path(__file__).resolve().parent.parent
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
 
+# Docs that must exist: a deleted-but-still-registered doc fails loudly
+# here even if nothing links to it yet.
+REQUIRED_DOCS = (
+    "docs/PROTOCOL.md",
+    "docs/CHECKER.md",
+    "docs/MODELCHECK.md",
+    "docs/VERIFICATION.md",
+)
+
 
 def md_files() -> list[Path]:
     files = sorted(ROOT.glob("*.md"))
@@ -28,6 +37,10 @@ def md_files() -> list[Path]:
 def main() -> int:
     errors = []
     checked = 0
+    for req in REQUIRED_DOCS:
+        checked += 1
+        if not (ROOT / req).is_file():
+            errors.append(f"required doc {req} is missing")
     for md in md_files():
         base = md.parent
         for lineno, line in enumerate(md.read_text().splitlines(), start=1):

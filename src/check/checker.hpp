@@ -54,6 +54,18 @@ enum class Mutation : std::uint8_t {
   /// LRC/LRC-ext: drop buffered write notices instead of invalidating at
   /// acquire — the paper's central correctness obligation.
   kSkipAcquireInvalidation,
+  /// LRC/LRC-ext, schedule-dependent: a write notice that lost a same-cycle
+  /// arrival race at its sink (mesh::Message::tie_inverted) is acked but its
+  /// invalidation is never buffered — models a handler that assumes arrival
+  /// order within a cycle. Unreachable in default runs (ties always resolve
+  /// in ascending seq order there); the src/mc explorer reaches it and the
+  /// value oracle reports the resulting stale read.
+  kTieDropWriteNotice,
+  /// LRC/LRC-ext, schedule-dependent: an evict/inval membership update that
+  /// lost a same-cycle arrival race clears its masks but skips the
+  /// Weak->Shared->Uncached state recomputation. Same reachability story;
+  /// caught by the directory invariant "state disagrees with masks".
+  kTieSkipMembershipRecompute,
 };
 
 Mutation active_mutation();

@@ -27,6 +27,33 @@ std::vector<std::string> tokens_of(const std::string& line) {
   while (ss >> t) toks.push_back(t);
   return toks;
 }
+
+// Whole-token integer parse; false on garbage, trailing junk, or overflow
+// (std::stoll alone would accept "12x" and throw bare std::invalid_argument
+// on "x", losing the file/line context `bad` attaches).
+bool try_int(const std::string& tok, std::int64_t& out) {
+  std::size_t pos = 0;
+  try {
+    out = std::stoll(tok, &pos);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return pos == tok.size();
+}
+
+std::int64_t parse_int(const std::string& name, int lineno,
+                       const std::string& tok) {
+  std::int64_t v = 0;
+  if (!try_int(tok, v)) bad(name, lineno, "bad number `" + tok + "`");
+  return v;
+}
+
+std::uint64_t parse_count(const std::string& name, int lineno,
+                          const std::string& tok) {
+  const std::int64_t v = parse_int(name, lineno, tok);
+  if (v < 0) bad(name, lineno, "expected a non-negative number, got " + tok);
+  return static_cast<std::uint64_t>(v);
+}
 }  // namespace
 
 bool class_contains(ProtoClass c, core::ProtocolKind k) {
@@ -50,10 +77,12 @@ bool class_contains(ProtoClass c, core::ProtocolKind k) {
 namespace {
 
 int parse_reg(const std::string& name, int lineno, const std::string& tok) {
-  if (tok.size() < 2 || tok[0] != 'r') bad(name, lineno, "bad register " + tok);
-  const int r = std::stoi(tok.substr(1));
+  std::int64_t r = -1;
+  if (tok.size() < 2 || tok[0] != 'r' || !try_int(tok.substr(1), r)) {
+    bad(name, lineno, "bad register " + tok);
+  }
   if (r < 0 || r >= kNumRegs) bad(name, lineno, "register out of range " + tok);
-  return r;
+  return static_cast<int>(r);
 }
 
 int var_index(LitmusProgram& p, const std::string& name, int lineno,
@@ -73,20 +102,22 @@ ProtoClass parse_class(const std::string& name, int lineno,
   bad(name, lineno, "unknown protocol class " + tok);
 }
 
-// `[P0<P1@2]` -> guard fields. Returns false if tok is not a guard.
-bool parse_guard(LitmusCond& c, const std::string& tok) {
+// `[P0<P1@2]` -> guard fields. Returns false if tok is not guard-shaped;
+// a guard-shaped token with malformed numbers is a located error.
+bool parse_guard(LitmusCond& c, const std::string& name, int lineno,
+                 const std::string& tok) {
   if (tok.size() < 8 || tok.front() != '[' || tok.back() != ']') return false;
   const auto lt = tok.find('<');
   const auto at = tok.find('@');
   if (lt == std::string::npos || at == std::string::npos) return false;
   if (tok[1] != 'P' || tok[lt + 1] != 'P') return false;
   c.has_guard = true;
-  c.guard_first =
-      static_cast<NodeId>(std::stoul(tok.substr(2, lt - 2)));
-  c.guard_second =
-      static_cast<NodeId>(std::stoul(tok.substr(lt + 2, at - lt - 2)));
-  c.guard_lock =
-      static_cast<SyncId>(std::stoul(tok.substr(at + 1, tok.size() - at - 2)));
+  c.guard_first = static_cast<NodeId>(
+      parse_count(name, lineno, tok.substr(2, lt - 2)));
+  c.guard_second = static_cast<NodeId>(
+      parse_count(name, lineno, tok.substr(lt + 2, at - lt - 2)));
+  c.guard_lock = static_cast<SyncId>(
+      parse_count(name, lineno, tok.substr(at + 1, tok.size() - at - 2)));
   return true;
 }
 
@@ -99,14 +130,14 @@ void parse_cond(LitmusProgram& p, const std::string& name, int lineno,
   std::size_t i = 1;
   if (i >= toks.size()) bad(name, lineno, "missing protocol class");
   c.cls = parse_class(name, lineno, toks[i++]);
-  if (i < toks.size() && parse_guard(c, toks[i])) ++i;
+  if (i < toks.size() && parse_guard(c, name, lineno, toks[i])) ++i;
   // Remaining: rK=V [& rK=V]...
   for (; i < toks.size(); ++i) {
     if (toks[i] == "&") continue;
     const auto eq = toks[i].find('=');
     if (eq == std::string::npos) bad(name, lineno, "bad term " + toks[i]);
     const int reg = parse_reg(name, lineno, toks[i].substr(0, eq));
-    c.eqs.emplace_back(reg, std::stoll(toks[i].substr(eq + 1)));
+    c.eqs.emplace_back(reg, parse_int(name, lineno, toks[i].substr(eq + 1)));
   }
   if (c.eqs.empty()) bad(name, lineno, "condition with no terms");
   p.conds.push_back(std::move(c));
@@ -124,7 +155,7 @@ void parse_ops(LitmusProgram& p, const std::string& name, int lineno,
     unsigned rep = 1;
     if (toks[i] == "rep") {
       if (toks.size() < 3) bad(name, lineno, "rep needs a count and an op");
-      rep = static_cast<unsigned>(std::stoul(toks[1]));
+      rep = static_cast<unsigned>(parse_count(name, lineno, toks[1]));
       i = 2;
     }
     LitmusOp op;
@@ -150,12 +181,12 @@ void parse_ops(LitmusProgram& p, const std::string& name, int lineno,
       need(2);
       op.kind = LitmusOp::kWrite;
       op.var = var_index(p, name, lineno, toks[i + 1]);
-      op.value = std::stoll(toks[i + 2]);
+      op.value = parse_int(name, lineno, toks[i + 2]);
     } else if (k == "I") {
       need(2);
       op.kind = LitmusOp::kSetReg;
       op.reg = parse_reg(name, lineno, toks[i + 1]);
-      op.value = std::stoll(toks[i + 2]);
+      op.value = parse_int(name, lineno, toks[i + 2]);
     } else if (k == "INC") {
       need(1);
       op.kind = LitmusOp::kInc;
@@ -165,14 +196,14 @@ void parse_ops(LitmusProgram& p, const std::string& name, int lineno,
       op.kind = k == "L"   ? LitmusOp::kLock
                 : k == "U" ? LitmusOp::kUnlock
                            : LitmusOp::kBarrier;
-      op.sync = static_cast<SyncId>(std::stoul(toks[i + 1]));
+      op.sync = static_cast<SyncId>(parse_count(name, lineno, toks[i + 1]));
     } else if (k == "F") {
       need(0);
       op.kind = LitmusOp::kFence;
     } else if (k == "D") {
       need(1);
       op.kind = LitmusOp::kDelay;
-      op.value = std::stoll(toks[i + 1]);
+      op.value = parse_int(name, lineno, toks[i + 1]);
     } else {
       bad(name, lineno, "unknown op " + k);
     }
@@ -182,9 +213,13 @@ void parse_ops(LitmusProgram& p, const std::string& name, int lineno,
 
 }  // namespace
 
-LitmusProgram LitmusProgram::parse(const std::string& text, std::string name) {
+LitmusProgram LitmusProgram::parse(const std::string& text, std::string name,
+                                   std::string location) {
   LitmusProgram p;
   p.name = std::move(name);
+  // Error prefix: the file path when known, else the program name. Fixed up
+  // front so a mid-file `name` directive cannot change where errors point.
+  const std::string loc = location.empty() ? p.name : std::move(location);
   std::istringstream ss(text);
   std::string raw;
   int lineno = 0;
@@ -196,13 +231,13 @@ LitmusProgram LitmusProgram::parse(const std::string& text, std::string name) {
     if (toks.empty()) continue;
     const std::string& key = toks[0];
     if (key == "name") {
-      if (toks.size() != 2) bad(p.name, lineno, "name takes one token");
+      if (toks.size() != 2) bad(loc, lineno, "name takes one token");
       p.name = toks[1];
     } else if (key == "procs") {
-      if (toks.size() != 2) bad(p.name, lineno, "procs takes one number");
-      p.nprocs = static_cast<unsigned>(std::stoul(toks[1]));
+      if (toks.size() != 2) bad(loc, lineno, "procs takes one number");
+      p.nprocs = static_cast<unsigned>(parse_count(loc, lineno, toks[1]));
       if (p.nprocs < 2 || p.nprocs > kMaxProcs) {
-        bad(p.name, lineno, "procs out of range");
+        bad(loc, lineno, "procs out of range");
       }
       p.code.resize(p.nprocs);
     } else if (key == "vars") {
@@ -210,30 +245,33 @@ LitmusProgram LitmusProgram::parse(const std::string& text, std::string name) {
     } else if (key == "line") {
       std::vector<int> group;
       for (std::size_t i = 1; i < toks.size(); ++i) {
-        group.push_back(var_index(p, p.name, lineno, toks[i]));
+        group.push_back(var_index(p, loc, lineno, toks[i]));
       }
-      if (group.size() < 2) bad(p.name, lineno, "line group needs >= 2 vars");
+      if (group.size() < 2) bad(loc, lineno, "line group needs >= 2 vars");
       p.line_groups.push_back(std::move(group));
     } else if (key == "forbid" || key == "require") {
-      parse_cond(p, p.name, lineno, toks, key == "forbid", line);
+      parse_cond(p, loc, lineno, toks, key == "forbid", line);
     } else if (key == "expect") {
       if (toks.size() != 2 || toks[1] != "drf") {
-        bad(p.name, lineno, "only `expect drf` is supported");
+        bad(loc, lineno, "only `expect drf` is supported");
       }
       p.expect_drf = true;
     } else if (key.size() >= 3 && key[0] == 'P' && key.back() == ':') {
-      const unsigned proc =
-          static_cast<unsigned>(std::stoul(key.substr(1, key.size() - 2)));
-      if (p.code.empty()) bad(p.name, lineno, "procs must come before code");
-      if (proc >= p.nprocs) bad(p.name, lineno, "proc out of range in " + key);
+      std::int64_t proc = -1;
+      if (!try_int(key.substr(1, key.size() - 2), proc) || proc < 0) {
+        bad(loc, lineno, "bad proc label " + key);
+      }
+      if (p.code.empty()) bad(loc, lineno, "procs must come before code");
+      if (proc >= p.nprocs) bad(loc, lineno, "proc out of range in " + key);
       const auto colon = line.find(':');
-      parse_ops(p, p.name, lineno, proc, line.substr(colon + 1));
+      parse_ops(p, loc, lineno, static_cast<unsigned>(proc),
+                line.substr(colon + 1));
     } else {
-      bad(p.name, lineno, "unrecognized directive " + key);
+      bad(loc, lineno, "unrecognized directive " + key);
     }
   }
-  if (p.nprocs == 0) bad(p.name, 0, "missing procs directive");
-  if (p.vars.empty()) bad(p.name, 0, "missing vars directive");
+  if (p.nprocs == 0) bad(loc, 0, "missing procs directive");
+  if (p.vars.empty()) bad(loc, 0, "missing vars directive");
   return p;
 }
 
@@ -247,21 +285,30 @@ LitmusProgram LitmusProgram::parse_file(const std::string& path) {
   if (auto dot = base.rfind(".litmus"); dot != std::string::npos) {
     base = base.substr(0, dot);
   }
-  return parse(buf.str(), base);
+  return parse(buf.str(), base, path);
 }
 
 // ---- Running ----------------------------------------------------------------
 
 LitmusResult run_litmus(const LitmusProgram& prog, core::ProtocolKind kind,
                         std::uint64_t seed) {
-  return run_litmus(prog, kind, seed,
-                    core::SystemParams::test_scale(prog.nprocs).cache);
+  LitmusRunOptions opts;
+  opts.seed = seed;
+  return run_litmus(prog, kind, opts);
 }
 
 LitmusResult run_litmus(const LitmusProgram& prog, core::ProtocolKind kind,
                         std::uint64_t seed, const cache::CacheConfig& cfg) {
+  LitmusRunOptions opts;
+  opts.seed = seed;
+  opts.cache = cfg;
+  return run_litmus(prog, kind, opts);
+}
+
+LitmusResult run_litmus(const LitmusProgram& prog, core::ProtocolKind kind,
+                        const LitmusRunOptions& opts) {
   auto params = core::SystemParams::test_scale(prog.nprocs);
-  params.cache = cfg;
+  if (opts.cache) params.cache = *opts.cache;
   core::Machine m(params, kind);
 
   // Lay out variables: grouped vars pack into one line (8 bytes apart,
@@ -294,14 +341,24 @@ LitmusResult run_litmus(const LitmusProgram& prog, core::ProtocolKind kind,
   check::Checker* ck = m.enable_checker(/*strict=*/false);
 #endif
 
+  if (opts.pre_run) opts.pre_run(m);
+
   m.run([&](core::Cpu& cpu) {
     const NodeId p = cpu.id();
     const auto& ops = prog.code[p];
-    std::mt19937_64 rng(seed * 1000003ULL + p * 7919ULL + 13);
-    cpu.compute(1 + rng() % 29);  // stagger the start
+    std::mt19937_64 rng(opts.seed * 1000003ULL + p * 7919ULL + 13);
+    if (opts.jitter) cpu.compute(1 + rng() % 29);  // stagger the start
+    unsigned nth_sync = 0;
     for (const LitmusOp& op : ops) {
       for (unsigned k = 0; k < op.rep; ++k) {
-        if ((rng() & 3) == 0) cpu.compute(1 + rng() % 7);
+        if (opts.jitter && (rng() & 3) == 0) cpu.compute(1 + rng() % 7);
+        if (opts.sync_delay &&
+            (op.kind == LitmusOp::kLock || op.kind == LitmusOp::kUnlock ||
+             op.kind == LitmusOp::kBarrier || op.kind == LitmusOp::kFence)) {
+          if (const Cycle d = opts.sync_delay(p, nth_sync++); d > 0) {
+            cpu.compute(d);
+          }
+        }
         switch (op.kind) {
           case LitmusOp::kRead:
             res.regs[op.reg] = cpu.read<std::int64_t>(var_addr[op.var]);
@@ -352,6 +409,8 @@ LitmusResult run_litmus(const LitmusProgram& prog, core::ProtocolKind kind,
     res.races = ck->races();
   }
 #endif
+
+  if (opts.post_run) opts.post_run(m);
 
   // Evaluate conditions against the final register file and lock orders.
   auto first_pos = [&](SyncId lock, NodeId p) -> std::int64_t {

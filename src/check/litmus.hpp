@@ -23,12 +23,18 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/params.hpp"
 #include "sim/types.hpp"
+
+namespace lrc::core {
+class Machine;
+}
 
 namespace lrc::check {
 
@@ -78,7 +84,11 @@ struct LitmusProgram {
   std::vector<LitmusCond> conds;
   bool expect_drf = false;
 
-  static LitmusProgram parse(const std::string& text, std::string name);
+  /// Parses `text`. Errors throw std::runtime_error prefixed with
+  /// `location:lineno` (`location` defaults to `name`; parse_file passes
+  /// the file path so authoring mistakes point at the offending file line).
+  static LitmusProgram parse(const std::string& text, std::string name,
+                             std::string location = {});
   static LitmusProgram parse_file(const std::string& path);
 };
 
@@ -90,6 +100,30 @@ struct LitmusResult {
   std::uint64_t races = 0;              // checker race count (LRCSIM_CHECK)
   bool checker_active = false;
   bool passed() const { return failures.empty() && violations.empty(); }
+};
+
+/// Extended run controls. Defaults reproduce run_litmus(prog, kind, seed).
+struct LitmusRunOptions {
+  std::uint64_t seed = 1;
+  /// Seeded per-processor start stagger + inter-op compute jitter. The
+  /// model checker turns this off so the baseline timing is a pure function
+  /// of the program and its schedule decisions.
+  bool jitter = true;
+  /// Cache hierarchy; unset -> the test_scale default for prog.nprocs.
+  std::optional<cache::CacheConfig> cache;
+  /// Model-checker hook (src/mc/): invoked on the freshly built Machine
+  /// before any fiber starts — install a sim::ScheduleArbiter, disable NIC
+  /// arrival batching, etc.
+  std::function<void(core::Machine&)> pre_run;
+  /// Sync-arrival perturbation (src/mc/): when set, called immediately
+  /// before each synchronization op (lock/unlock/barrier/fence); the
+  /// returned cycle count is spent as local compute first, letting an
+  /// explorer reorder sync arrivals. `nth` counts sync ops per processor.
+  std::function<Cycle(NodeId p, unsigned nth)> sync_delay;
+  /// Called after the run (and checker finalization) completes, before the
+  /// Machine is destroyed — e.g. to dump a message trace enabled in
+  /// pre_run. Not called when the run throws.
+  std::function<void(core::Machine&)> post_run;
 };
 
 /// Runs the program on a fresh test_scale Machine under `kind`. `seed`
@@ -105,5 +139,11 @@ LitmusResult run_litmus(const LitmusProgram& prog, core::ProtocolKind kind,
 /// consistency obligations must hold regardless of geometry.
 LitmusResult run_litmus(const LitmusProgram& prog, core::ProtocolKind kind,
                         std::uint64_t seed, const cache::CacheConfig& cfg);
+
+/// Fully-controlled run (the model checker's entry point). Exceptions
+/// thrown by opts.pre_run-installed machinery (e.g. a pruning arbiter)
+/// propagate out with the partially-run Machine cleanly destroyed.
+LitmusResult run_litmus(const LitmusProgram& prog, core::ProtocolKind kind,
+                        const LitmusRunOptions& opts);
 
 }  // namespace lrc::check

@@ -17,7 +17,9 @@ Cpu::Cpu(Machine& m, NodeId id)
       cache_(m.params().cache, m.params().cache_bytes, m.params().line_bytes,
              id, m.params().seed),
       wb_(m.params().write_buffer_entries),
-      cb_(m.params().coalescing_entries) {}
+      cb_(m.params().coalescing_entries) {
+  resume_event_.set_mc_actor(id, /*resumes_fiber=*/true);
+}
 
 unsigned Cpu::nprocs() const { return m_.nprocs(); }
 

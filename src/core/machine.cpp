@@ -79,7 +79,10 @@ namespace {
 // Engine::schedule_make sees complete types.
 class RedeliverEvent final : public sim::Event {
  public:
-  RedeliverEvent(Machine& m, const mesh::Message& msg) : m_(m), msg_(msg) {}
+  RedeliverEvent(Machine& m, const mesh::Message& msg) : m_(m), msg_(msg) {
+    set_mc_actor(msg.dst, /*resumes_fiber=*/false);
+    set_mc_src(msg.src);
+  }
   void fire(Cycle t) override { m_.dispatch_deferred(msg_, t); }
 
  private:
@@ -89,7 +92,9 @@ class RedeliverEvent final : public sim::Event {
 
 class PokeEvent final : public sim::Event {
  public:
-  PokeEvent(Machine& m, NodeId p) : m_(m), p_(p) {}
+  PokeEvent(Machine& m, NodeId p) : m_(m), p_(p) {
+    set_mc_actor(p, /*resumes_fiber=*/false);
+  }
   void fire(Cycle t) override { m_.cpu(p_).poke(t); }
 
  private:

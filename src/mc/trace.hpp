@@ -1,0 +1,62 @@
+// Decision traces for the schedule explorer (docs/MODELCHECK.md).
+//
+// A schedule is identified by the sequence of choices made at its decision
+// points, in encounter order. Because the engine is deterministic — the
+// event fired at step k is a pure function of the choices made at decisions
+// 0..k-1 — the choice vector alone replays the schedule exactly, and the
+// richer Decision records below (timestamps, candidate seqs, actors) are
+// carried only so humans can read a counterexample.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace lrc::mc {
+
+/// One co-enabled event at a tie decision point.
+struct TieCand {
+  std::uint64_t seq = 0;     // engine tie-break id; unique within a schedule
+  std::uint16_t actor = 0;   // sim::Event::kNoActor when unknown
+  std::uint16_t src = 0;     // sending node for channel deliveries, else
+                             // kNoActor; (src, actor) names the p2p channel
+  bool fiber = false;        // firing resumes workload code
+};
+
+/// One decision point along a schedule.
+struct Decision {
+  enum class Kind : std::uint8_t {
+    kTie,    // >= 2 events co-enabled at one cycle: pick the next firing
+    kDelay,  // sync-arrival perturbation: extra compute before a sync op
+  };
+  Kind kind = Kind::kTie;
+  std::uint32_t chosen = 0;  // candidate index (kTie) or delay cycles (kDelay)
+
+  // kTie fields.
+  Cycle when = 0;
+  std::vector<TieCand> cands;
+
+  // kDelay fields.
+  NodeId proc = 0;
+  unsigned nth = 0;      // nth sync op of `proc`
+  unsigned window = 0;   // domain is 0..window
+};
+
+/// The compact, replayable form: Decision::chosen per decision point, in
+/// encounter order. See mc::replay.
+using Choices = std::vector<std::uint32_t>;
+
+inline Choices choices_of(const std::vector<Decision>& trace) {
+  Choices c;
+  c.reserve(trace.size());
+  for (const Decision& d : trace) c.push_back(d.chosen);
+  return c;
+}
+
+/// Human-readable rendering: one line per decision, ties shown as
+/// `(time, seq)` candidate lists with the chosen firing marked.
+std::string format_trace(const std::vector<Decision>& trace);
+
+}  // namespace lrc::mc

@@ -63,6 +63,12 @@ struct Message {
   WordMask words = 0;          // dirty-word mask (write-through/notices)
   std::uint32_t payload_bytes = 0;  // data payload; 0 for control messages
   std::uint64_t tag = 0;       // protocol-private correlation tag
+  /// Set by the NIC sink when this message lost a same-cycle arrival race it
+  /// would have won under the engine's default ascending-seq tie order —
+  /// i.e. a schedule explorer (src/mc/) inverted the tie. Provably always
+  /// false in ordinary runs; the schedule-dependent protocol mutations
+  /// (check::Mutation::kTie*) use it as their trigger.
+  bool tie_inverted = false;
 };
 
 inline std::string_view to_string(MsgKind k) {

@@ -11,11 +11,18 @@ class Nic::Arrival final : public sim::Event {
  public:
   static constexpr unsigned kCapacity = 3;
 
-  Arrival(Nic& nic, const Message& msg) : nic_(nic) { msgs_[count_++] = msg; }
+  Arrival(Nic& nic, const Message& msg) : nic_(nic) {
+    msgs_[count_++] = msg;
+    set_mc_actor(msg.dst, /*resumes_fiber=*/false);
+    set_mc_src(msg.src);
+  }
 
   bool add(const Message& msg) {
     if (count_ == kCapacity) return false;
     msgs_[count_++] = msg;
+    // A batch mixing destinations touches several nodes' sink state.
+    if (msg.dst != msgs_[0].dst) set_mc_actor(kNoActor, false);
+    if (msg.src != msgs_[0].src) set_mc_src(kNoActor);
     return true;
   }
 
@@ -34,7 +41,10 @@ class Nic::Arrival final : public sim::Event {
 // occupied: fires once the endpoint frees up.
 class Nic::Delivery final : public sim::Event {
  public:
-  Delivery(Nic& nic, const Message& msg) : nic_(nic), msg_(msg) {}
+  Delivery(Nic& nic, const Message& msg) : nic_(nic), msg_(msg) {
+    set_mc_actor(msg.dst, /*resumes_fiber=*/false);
+    set_mc_src(msg.src);
+  }
 
   void fire(Cycle t) override { nic_.deliver(msg_, t); }
 
@@ -49,6 +59,9 @@ Nic::Nic(sim::Engine& engine, const Topology& topo, NicParams params)
       params_(params),
       out_free_(topo.nodes(), 0),
       in_free_(topo.nodes(), 0) {
+#ifdef LRCSIM_CHECK
+  tie_mark_.resize(topo.nodes());
+#endif
   static_assert(sizeof(Arrival) <= sim::Engine::kMaxPooledBytes,
                 "Arrival must fit a pool slot; shrink kCapacity");
   static_assert(sizeof(Delivery) <= sim::Engine::kMaxPooledBytes);
@@ -91,7 +104,7 @@ void Nic::send(Cycle when, Message msg) {
   // number. (b) proves no other event was scheduled in between, so the
   // batched messages would have fired back to back anyway — execution
   // order, and therefore timing, is bit-identical to one event per message.
-  if (pending_arrival_ != nullptr && pending_arrival_->pending() &&
+  if (batching_ && pending_arrival_ != nullptr && pending_arrival_->pending() &&
       pending_arrival_->when() == arrive &&
       engine_.last_seq() == pending_arrival_->seq() &&
       pending_arrival_->add(msg)) {
@@ -102,15 +115,32 @@ void Nic::send(Cycle when, Message msg) {
 }
 
 void Nic::arbitrate_sink(const Message& msg, Cycle t) {
+  Message m = msg;
+#ifdef LRCSIM_CHECK
+  // Same-cycle arrival-race watermark (see Message::tie_inverted). The
+  // engine fires equal-time arrival events in ascending seq order, so in
+  // ordinary runs same-cycle calls here carry non-decreasing current_seq()
+  // (a batched Arrival repeats one seq) and the flag stays false. Only a
+  // schedule explorer picking a non-default tie order can invert it.
+  TieMark& tm = tie_mark_[msg.dst];
+  const std::uint64_t seq = engine_.current_seq();
+  if (tm.cycle == t) {
+    m.tie_inverted = seq < tm.max_seq;
+    if (seq > tm.max_seq) tm.max_seq = seq;
+  } else {
+    tm.cycle = t;
+    tm.max_seq = seq;
+  }
+#endif
   // Sink endpoint: serialize deliveries. The current message is delivered at
   // max(arrival, sink-free); subsequent deliveries wait behind its occupancy.
   const Cycle deliver_at = std::max(t, in_free_[msg.dst]);
   stats_.recv_contention += deliver_at - t;
   in_free_[msg.dst] = deliver_at + occupancy(msg);
   if (deliver_at == t) {
-    deliver(msg, t);
+    deliver(m, t);
   } else {
-    engine_.schedule_make<Delivery>(deliver_at, *this, msg);
+    engine_.schedule_make<Delivery>(deliver_at, *this, m);
   }
 }
 

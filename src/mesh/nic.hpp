@@ -62,6 +62,12 @@ class Nic {
   Cycle uncontended_latency(NodeId src, NodeId dst,
                             std::uint32_t payload_bytes) const;
 
+  /// Enables/disables same-cycle arrival batching. Batching is bit-identical
+  /// to one-event-per-message timing (see send()), but the model checker
+  /// turns it off so every message is its own schedulable event and the
+  /// explorer can reorder individual same-cycle arrivals.
+  void set_batching(bool on) { batching_ = on; }
+
   const NicStats& stats() const { return stats_; }
   void reset_stats() { stats_ = NicStats{}; }
 
@@ -91,6 +97,14 @@ class Nic {
   std::vector<Cycle> out_free_;  // source-endpoint next-free time
   std::vector<Cycle> in_free_;   // sink-endpoint next-free time
   Arrival* pending_arrival_ = nullptr;  // batching candidate; see send()
+  bool batching_ = true;                // see set_batching()
+#ifdef LRCSIM_CHECK
+  struct TieMark {  // per-sink same-cycle arrival seq watermark
+    Cycle cycle = static_cast<Cycle>(-1);
+    std::uint64_t max_seq = 0;
+  };
+  std::vector<TieMark> tie_mark_;
+#endif
   NicStats stats_;
 };
 

@@ -417,6 +417,15 @@ Cycle Lrc::home_membership_update(const Message& msg, Cycle /*start*/) {
   e.sharers &= ~proc_bit(p);
   e.writers &= ~proc_bit(p);
   e.notified &= ~proc_bit(p);
+#ifdef LRCSIM_CHECK
+  // Schedule-dependent negative-test mutation: a membership update that
+  // lost a same-cycle arrival race skips the state recomputation, leaving
+  // the entry's state field inconsistent with its masks.
+  if (msg.tie_inverted && check::active_mutation() ==
+                              check::Mutation::kTieSkipMembershipRecompute) {
+    return params().dir_update_cost;
+  }
+#endif
   e.recompute_lrc_state();
   return params().dir_update_cost;
 }
@@ -433,7 +442,16 @@ Cycle Lrc::home_write_through(const Message& msg, Cycle start) {
 Cycle Lrc::node_write_notice(const Message& msg, Cycle start) {
   const NodeId p = msg.dst;
   const Cycle cost = params().write_notice_cost;
-  if (m_.cpu(p).dcache().find(msg.line) != nullptr) {
+  const bool buffer_inval =
+      m_.cpu(p).dcache().find(msg.line) != nullptr
+#ifdef LRCSIM_CHECK
+      // Schedule-dependent negative-test mutation: a notice that lost a
+      // same-cycle arrival race is acked but its invalidation is dropped.
+      && !(msg.tie_inverted && check::active_mutation() ==
+                                   check::Mutation::kTieDropWriteNotice)
+#endif
+      ;
+  if (buffer_inval) {
     pending_inval_[p].insert(msg.line);
   }
   if ((msg.tag & kTagNoAck) == 0) {

@@ -121,6 +121,15 @@ Event* Engine::pop_min() {
     }
     Bucket& b = ring_[base_ & kBucketMask];
     if (b.head != nullptr) {
+      // Schedule-control hook: with an arbiter installed every ring pop is
+      // routed through it. Multi-candidate buckets are the decision points;
+      // singleton pops are reported too (pick must return 0 for n == 1) so
+      // an explorer can prune sleep-blocked paths. The overflow direct-pop
+      // above bypasses this: such an event is alone within a whole lap, so
+      // it was never co-enabled with anything and cannot be in a sleep set.
+      if (arbiter_ != nullptr) {
+        return pop_arbitrated(b);
+      }
       Event* ev = b.head;
       b.head = ev->next_;
       if (b.head == nullptr) {
@@ -150,12 +159,42 @@ Event* Engine::pop_min() {
   }
 }
 
+Event* Engine::pop_arbitrated(Bucket& b) {
+  arb_cands_.clear();
+  for (Event* ev = b.head; ev != nullptr; ev = ev->next_) {
+    arb_cands_.push_back(ev);
+  }
+  const std::size_t idx = arbiter_->pick(
+      base_, const_cast<const Event* const*>(arb_cands_.data()),
+      arb_cands_.size());
+  assert(idx < arb_cands_.size() && "arbiter returned an out-of-range pick");
+  Event* ev = arb_cands_[idx];
+  // Unlink `ev`; the remaining chain keeps its relative (seq) order, so a
+  // pick of index 0 leaves behaviour identical to the default pop.
+  if (ev == b.head) {
+    b.head = ev->next_;
+  } else {
+    Event* prev = b.head;
+    while (prev->next_ != ev) prev = prev->next_;
+    prev->next_ = ev->next_;
+    if (b.tail == ev) b.tail = prev;
+  }
+  if (b.head == nullptr) {
+    b.tail = nullptr;
+    occ_clear(base_ & kBucketMask);
+  }
+  --ring_count_;
+  --pending_count_;
+  return ev;
+}
+
 void Engine::run() {
   stopped_ = false;
   while (!stopped_) {
     Event* ev = pop_min();
     if (ev == nullptr) break;
     now_ = ev->when_;
+    cur_seq_ = ev->seq_;
     ev->pending_ = false;
     ++stats_.executed;
     ev->fire(now_);
@@ -170,6 +209,7 @@ std::size_t Engine::run_some(std::size_t max_events) {
     Event* ev = pop_min();
     if (ev == nullptr) break;
     now_ = ev->when_;
+    cur_seq_ = ev->seq_;
     ev->pending_ = false;
     ++stats_.executed;
     ev->fire(now_);

@@ -49,6 +49,24 @@
 
 namespace lrc::sim {
 
+/// Schedule-control hook for the model-checking explorer (src/mc/): when
+/// installed via Engine::set_arbiter, every decision point — two or more
+/// co-enabled events, i.e. pending events sharing the earliest timestamp —
+/// is resolved by pick() instead of the default lowest-seq rule. The ring
+/// invariant (one timestamp per bucket, appended in ascending seq) makes
+/// the candidate set exactly the head bucket's chain, presented in seq
+/// order. pick(idx == 0) reproduces the uninstalled behaviour exactly.
+class ScheduleArbiter {
+ public:
+  virtual ~ScheduleArbiter() = default;
+
+  /// Chooses which of the `n >= 2` co-enabled events (seq order) fires
+  /// next. Must return an index < n. May throw to abandon the run (the
+  /// engine's destructor releases every still-pending event).
+  virtual std::size_t pick(Cycle when, const Event* const* cands,
+                           std::size_t n) = 0;
+};
+
 /// Kernel health counters (reports, microbenches, regression tests).
 struct EngineStats {
   std::uint64_t executed = 0;         // events fired
@@ -131,6 +149,18 @@ class Engine {
   /// event could interleave (consecutive seqs at one time fire back to
   /// back, so appending work to the held event preserves exact order).
   std::uint64_t last_seq() const { return next_seq_ - 1; }
+
+  /// Sequence id of the event currently firing (or last fired). Together
+  /// with now() this identifies the running event's (time, seq) key —
+  /// the coordinates the model-checking explorer records in decision
+  /// traces and the tie-order mutations test against.
+  std::uint64_t current_seq() const { return cur_seq_; }
+
+  /// Installs (or clears, with nullptr) the explorer's decision-point
+  /// hook. With no arbiter installed pop order is untouched; the default
+  /// path pays one pointer test per pop of a multi-event bucket.
+  void set_arbiter(ScheduleArbiter* a) { arbiter_ = a; }
+  ScheduleArbiter* arbiter() const { return arbiter_; }
 
  private:
   template <typename F>
@@ -215,7 +245,11 @@ class Engine {
   /// Moves overflow events whose time entered the horizon into the ring.
   void migrate_overflow();
   /// Next event in (when, seq) order, or nullptr. Advances base_.
+  /// With an arbiter installed, multi-event buckets pop the arbiter's
+  /// choice instead of the head (cold path, explorer runs only).
   Event* pop_min();
+  /// Unlinks the arbiter-chosen event from the current head bucket.
+  Event* pop_arbitrated(Bucket& b);
 
   // ---- Bucket occupancy bitmap -------------------------------------------
   // One bit per ring bucket lets pop_min jump a whole span of empty buckets
@@ -259,8 +293,12 @@ class Engine {
 
   Cycle now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t cur_seq_ = 0;
   bool stopped_ = false;
   EngineStats stats_;
+
+  ScheduleArbiter* arbiter_ = nullptr;
+  std::vector<Event*> arb_cands_;  // scratch candidate list (explorer runs)
 
   std::array<FreeNode*, kSlotClasses> free_{};
   std::vector<Slab> slabs_;

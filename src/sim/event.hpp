@@ -24,6 +24,9 @@ class Engine;
 
 class Event {
  public:
+  /// Actor annotation value meaning "unknown" (see mc_actor below).
+  static constexpr std::uint16_t kNoActor = 0xFFFF;
+
   virtual ~Event() = default;
 
   /// Runs the event. `now` equals when() (or the clamped schedule time).
@@ -40,14 +43,41 @@ class Event {
   /// rescheduled only while not pending.
   bool pending() const { return pending_; }
 
+  /// Model-checker annotation (src/mc/): the node whose simulator state
+  /// this event mutates when fired, or kNoActor when that is not statically
+  /// known. The schedule explorer's independence relation treats
+  /// unknown-actor events as dependent on everything, so leaving the
+  /// default is always sound — tagging merely sharpens the reduction.
+  void set_mc_actor(std::uint16_t node, bool resumes_fiber) {
+    mc_actor_ = node;
+    mc_fiber_ = resumes_fiber;
+  }
+  std::uint16_t mc_actor() const { return mc_actor_; }
+  /// True if firing resumes workload code (a Cpu fiber), which may touch
+  /// globally shared state (backing store, litmus registers) in addition
+  /// to the actor node's hardware.
+  bool mc_fiber() const { return mc_fiber_; }
+
+  /// Model-checker annotation (src/mc/): for a network-delivery event, the
+  /// sending node — together with mc_actor (the sink) it names the
+  /// point-to-point channel. The modeled mesh preserves per-channel FIFO
+  /// order, so the explorer never inverts two same-cycle candidates with
+  /// equal (mc_src, mc_actor); kNoActor (the default) means "not a channel
+  /// delivery" and imposes no ordering constraint.
+  void set_mc_src(std::uint16_t node) { mc_src_ = node; }
+  std::uint16_t mc_src() const { return mc_src_; }
+
  private:
   friend class Engine;
 
   Event* next_ = nullptr;  // intrusive link within a calendar bucket
   Cycle when_ = 0;
   std::uint64_t seq_ = 0;
+  std::uint16_t mc_actor_ = kNoActor;  // explorer footprint tag (see above)
+  std::uint16_t mc_src_ = kNoActor;    // explorer channel tag (see above)
   std::uint8_t slot_ = 0;  // pool slot class; engine-internal
   bool pending_ = false;
+  bool mc_fiber_ = false;  // explorer: fires workload code
 };
 
 }  // namespace lrc::sim
