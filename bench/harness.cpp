@@ -34,8 +34,14 @@ namespace {
       "                   l2x     + 1 MB 8-way exclusive private L2\n"
       "                   l2-llc  l2 plus a 1 MB/node shared sliced LLC\n"
       "  --no-validate    skip result validation\n"
-      "  --jobs N         experiment worker threads (default: all host\n"
-      "                   cores; results are identical for any N)\n",
+      "  --jobs N         experiment-level parallelism: worker threads\n"
+      "                   running independent (app, protocol) cells, each\n"
+      "                   on its own Machine (default: all host cores;\n"
+      "                   results are identical for any N)\n"
+      "  --shards N       shard-level parallelism: threads *inside* one\n"
+      "                   simulation (conservative parallel DES, DESIGN.md\n"
+      "                   Sec. 10). 0 = serial legacy engine. Stats are\n"
+      "                   bit-identical across shard counts >= 1\n",
       prog);
   std::exit(2);
 }
@@ -106,6 +112,8 @@ Options Options::parse(int argc, char** argv) {
     } else if (arg == "--jobs") {
       opt.jobs = static_cast<unsigned>(std::stoul(next()));
       if (opt.jobs == 0) usage(argv[0]);
+    } else if (arg == "--shards") {
+      opt.shards = static_cast<unsigned>(std::stoul(next()));
     } else {
       usage(argv[0]);
     }
@@ -141,6 +149,7 @@ core::SystemParams make_params(const Options& opt) {
     p.cache = cache::CacheConfig::paper_l2().add_llc(1024 * 1024, 8);
   }
   p.seed = opt.seed;
+  p.shards = opt.shards;
   return p;
 }
 

@@ -29,9 +29,10 @@ struct Options {
   std::string hier;               // cache-hierarchy preset; empty/"l1" = L1 only
   bool validate = true;
   unsigned jobs = 0;              // worker threads; 0 = hardware_concurrency
+  unsigned shards = 0;            // intra-simulation shards; 0 = serial engine
 
   /// Parses --procs/--scale/--quick/--apps/--seed/--cache-kb/--line/
-  /// --hier/--no-validate/--jobs; exits with usage on error.
+  /// --hier/--no-validate/--jobs/--shards; exits with usage on error.
   static Options parse(int argc, char** argv);
 };
 

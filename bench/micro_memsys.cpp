@@ -561,6 +561,19 @@ int main(int argc, char** argv) {
                  hit_path.allocs_per_op);
     return 1;
   }
+  // The whole-simulator marginal rate covers everything the component
+  // loops cannot see (protocol bookkeeping, NIC, events). A small slack
+  // absorbs one-off growth of flat tables to their high-water capacity;
+  // anything above it means a per-access allocation crept back into the
+  // sim path (pending-invalidation sets were 0.5/access before they moved
+  // to util::FlatSet).
+  if (allocs_per_access > 0.02 || hier_allocs_per_access > 0.02) {
+    std::fprintf(stderr,
+                 "FAIL: whole-sim marginal allocation rate %.3f/access "
+                 "(single-level) / %.3f/access (two-level); expected ~0\n",
+                 allocs_per_access, hier_allocs_per_access);
+    return 1;
+  }
 
   if (FILE* f = std::fopen("BENCH_micro_memsys.json", "w")) {
     std::fputs(json, f);

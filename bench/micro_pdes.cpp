@@ -1,0 +1,269 @@
+// PDES scaling microbenchmark (DESIGN.md §10): how the sharded conservative
+// engine scales with shard count and mesh size.
+//
+// Two workloads:
+//  * app64  — a full-protocol simulation (gauss under LRC, 64 processors,
+//    test-scale input) at --shards {0, 1, 2, 4, 8}. shards=0 is the legacy
+//    serial engine; shards>=1 the keyed engine plus barrier-window clock.
+//  * phold<N> — a synthetic hot-potato workload on the raw PDES layer
+//    (keyed Engines + ShardSync + mesh hop latencies, no protocol) at mesh
+//    sizes 64 / 256 / 1024 — the sizes beyond kMaxProcs that only the
+//    sharding layer can reach.
+//
+// Writes BENCH_pdes.json. Interpretation note: shard workers are real host
+// threads, so parallel speedup requires free host cores; on a 1-core host
+// the shards>1 figures measure pure synchronization overhead (the recorded
+// reference file says which kind of host produced it via "host_cores").
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "core/report.hpp"
+#include "mesh/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/shard.hpp"
+
+namespace lrc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// ---- Synthetic PHOLD-style workload on the raw sharding layer --------------
+
+// Every node starts one ball; each ball executes `hops_left` events, each
+// re-sending itself to a pseudo-random node with the mesh hop latency. The
+// destination choice is a pure function of (node, hops_left), so the event
+// population is identical for every shard count.
+class Phold {
+ public:
+  Phold(unsigned nodes, unsigned shards, std::uint32_t hops_per_ball)
+      : topo_(nodes),
+        part_(topo_.partition(shards)),
+        nshards_(0),
+        hop_cost_(3),  // switch (2) + wire (1), the Table-1 mesh step
+        key_ctr_(nodes, 0),
+        hops_per_ball_(hops_per_ball) {
+    for (std::uint8_t s : part_) nshards_ = std::max(nshards_, unsigned(s) + 1);
+    const unsigned cross = topo_.min_cross_shard_hops(part_);
+    lookahead_ = cross == 0 ? (Cycle{1} << 40) : cross * hop_cost_;
+    engines_.reserve(nshards_);
+    for (unsigned s = 0; s < nshards_; ++s) {
+      auto e = std::make_unique<sim::Engine>();
+      e->set_keyed(true);
+      engines_.push_back(std::move(e));
+    }
+    for (auto& m : mail_) {
+      m.assign(nshards_, std::vector<std::vector<Posted>>(nshards_));
+    }
+    parity_.assign(nshards_, Parity{});
+    for (NodeId n = 0; n < nodes; ++n) {
+      engines_[part_[n]]->schedule_make_keyed<Ball>(n % 7, mint_key(n), *this,
+                                                    n, hops_per_ball_);
+    }
+  }
+
+  /// Runs to completion on nshards threads; returns events executed.
+  std::uint64_t run() {
+    std::vector<sim::Engine*> eng;
+    for (auto& e : engines_) eng.push_back(e.get());
+    sim::ShardSync sync(std::move(eng), lookahead_);
+    const auto outbox_min = +[](void* ctx, unsigned s) -> Cycle {
+      return static_cast<Phold*>(ctx)->outbox_min(s);
+    };
+    const auto drain = +[](void* ctx, unsigned s) {
+      static_cast<Phold*>(ctx)->drain(s);
+    };
+    std::vector<std::thread> workers;
+    for (unsigned s = 1; s < nshards_; ++s) {
+      workers.emplace_back([this, &sync, outbox_min, drain, s] {
+        sync.run_shard(s, outbox_min, drain, this);
+      });
+    }
+    sync.run_shard(0, outbox_min, drain, this);
+    for (auto& w : workers) w.join();
+    std::uint64_t events = 0;
+    for (auto& e : engines_) events += e->events_executed();
+    return events;
+  }
+
+ private:
+  struct Posted {
+    NodeId node;
+    Cycle when;
+    std::uint64_t key;
+    std::uint32_t hops_left;
+  };
+
+  class Ball final : public sim::Event {
+   public:
+    Ball(Phold& ph, NodeId node, std::uint32_t hops_left)
+        : ph_(ph), node_(node), hops_left_(hops_left) {}
+    void fire(Cycle now) override { ph_.bounce(node_, hops_left_, now); }
+
+   private:
+    Phold& ph_;
+    NodeId node_;
+    std::uint32_t hops_left_;
+  };
+
+  std::uint64_t mint_key(NodeId origin) {
+    return (std::uint64_t{origin} << 32) | key_ctr_[origin]++;
+  }
+
+  void bounce(NodeId n, std::uint32_t left, Cycle now) {
+    if (left == 0) return;
+    // Deterministic pseudo-random destination: same for every shard count.
+    const std::uint64_t h =
+        (std::uint64_t{n} * 2654435761u + left) * 0x9E3779B97F4A7C15ull;
+    const NodeId dst = static_cast<NodeId>((h >> 33) % topo_.nodes());
+    const Cycle delay =
+        std::max<Cycle>(1, Cycle{topo_.hops(n, dst)} * hop_cost_);
+    const std::uint64_t key = mint_key(n);  // n's shard executes this event
+    const unsigned from = part_[n], to = part_[dst];
+    if (to == from) {
+      engines_[to]->schedule_make_keyed<Ball>(now + delay, key, *this, dst,
+                                              left - 1);
+    } else {
+      mail_[parity_[from].v][from][to].push_back(
+          Posted{dst, now + delay, key, left - 1});
+    }
+  }
+
+  Cycle outbox_min(unsigned s) const {
+    Cycle m = kNever;
+    for (const auto& box : mail_[parity_[s].v][s]) {
+      for (const Posted& p : box) m = std::min(m, p.when);
+    }
+    return m;
+  }
+
+  void drain(unsigned s) {
+    const unsigned par = parity_[s].v;
+    for (unsigned from = 0; from < nshards_; ++from) {
+      for (const Posted& p : mail_[par][from][s]) {
+        engines_[s]->schedule_make_keyed<Ball>(p.when, p.key, *this, p.node,
+                                               p.hops_left);
+      }
+      mail_[par][from][s].clear();
+    }
+    parity_[s].v = par ^ 1;  // next window posts to the other buffer
+  }
+
+  mesh::Topology topo_;
+  std::vector<std::uint8_t> part_;
+  unsigned nshards_;
+  const Cycle hop_cost_;
+  Cycle lookahead_ = 1;
+  struct alignas(64) Parity {
+    unsigned v = 0;
+  };
+
+  std::vector<std::unique_ptr<sim::Engine>> engines_;
+  std::vector<std::vector<std::vector<Posted>>> mail_[2];
+  std::vector<Parity> parity_;
+  std::vector<std::uint64_t> key_ctr_;
+  std::uint32_t hops_per_ball_;
+};
+
+double phold_rate(unsigned nodes, unsigned shards, std::uint32_t hops) {
+  Phold ph(nodes, shards, hops);
+  const auto t0 = Clock::now();
+  const std::uint64_t events = ph.run();
+  return static_cast<double>(events) / seconds_since(t0);
+}
+
+// ---- Full-protocol run ------------------------------------------------------
+
+struct AppRate {
+  double events_per_sec = 0;
+  std::uint64_t events = 0;
+};
+
+AppRate app_rate(unsigned shards) {
+  bench::Options opt;
+  opt.scale = bench::Scale::kTest;
+  opt.procs = 64;
+  opt.apps = {"gauss"};
+  opt.validate = false;
+  opt.shards = shards;
+  const auto* app = bench::selected_apps(opt).front();
+  const auto t0 = Clock::now();
+  const auto res = bench::run_app(*app, core::ProtocolKind::kLRC, opt);
+  const double secs = seconds_since(t0);
+  return AppRate{static_cast<double>(res.report.events_executed) / secs,
+                 res.report.events_executed};
+}
+
+}  // namespace
+}  // namespace lrc
+
+int main() {
+  using namespace lrc;
+
+  std::printf("micro_pdes: conservative parallel-DES scaling\n");
+  std::printf("host cores: %u\n\n", std::thread::hardware_concurrency());
+
+  // Full-protocol: gauss/LRC on 64 processors.
+  std::printf("app64 (gauss, LRC, 64 procs, test scale):\n");
+  const AppRate serial = app_rate(0);
+  std::printf("  shards=0 (legacy)  %12.0f events/s  (%llu events)\n",
+              serial.events_per_sec, (unsigned long long)serial.events);
+  double app_eps[4] = {0, 0, 0, 0};  // shards 1, 2, 4, 8
+  const unsigned counts[4] = {1, 2, 4, 8};
+  for (int i = 0; i < 4; ++i) {
+    const AppRate r = app_rate(counts[i]);
+    app_eps[i] = r.events_per_sec;
+    std::printf("  shards=%-2u          %12.0f events/s\n", counts[i],
+                app_eps[i]);
+  }
+
+  // Synthetic PDES layer at and beyond the protocol's node limit.
+  const unsigned meshes[3] = {64, 256, 1024};
+  const std::uint32_t hops = 300;
+  double ph[3][4];
+  for (int m = 0; m < 3; ++m) {
+    std::printf("phold%u (%u balls x %u hops):\n", meshes[m], meshes[m], hops);
+    for (int i = 0; i < 4; ++i) {
+      ph[m][i] = phold_rate(meshes[m], counts[i], hops);
+      std::printf("  shards=%-2u          %12.0f events/s\n", counts[i],
+                  ph[m][i]);
+    }
+  }
+
+  FILE* f = std::fopen("BENCH_pdes.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"micro_pdes\",\n");
+    std::fprintf(f, "  \"pdes\": {\n");
+    std::fprintf(f, "    \"host_cores\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f,
+                 "    \"app64\": {\"events\": %llu, "
+                 "\"serial_events_per_sec\": %.0f,\n"
+                 "              \"shard1\": %.0f, \"shard2\": %.0f, "
+                 "\"shard4\": %.0f, \"shard8\": %.0f,\n"
+                 "              \"speedup\": %.3f},\n",
+                 (unsigned long long)serial.events, serial.events_per_sec,
+                 app_eps[0], app_eps[1], app_eps[2], app_eps[3],
+                 app_eps[2] / app_eps[0]);
+    for (int m = 0; m < 3; ++m) {
+      std::fprintf(f,
+                   "    \"phold%u\": {\"shard1\": %.0f, \"shard2\": %.0f, "
+                   "\"shard4\": %.0f, \"shard8\": %.0f, \"speedup\": %.3f}%s\n",
+                   meshes[m], ph[m][0], ph[m][1], ph[m][2], ph[m][3],
+                   ph[m][2] / ph[m][0], m + 1 < 3 ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_pdes.json\n");
+  }
+  return 0;
+}

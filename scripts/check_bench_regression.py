@@ -29,6 +29,7 @@ ZERO_ALLOCS = 0.001          # "zero" allowing for one-off warmup noise
 # regenerating the JSON with an older binary) must itself be a failure.
 REQUIRED_SECTIONS = {
     "micro_memsys": ("sim", "hier", "container"),
+    "micro_pdes": ("pdes",),
 }
 
 

@@ -105,6 +105,12 @@ struct LitmusResult {
 /// Extended run controls. Defaults reproduce run_litmus(prog, kind, seed).
 struct LitmusRunOptions {
   std::uint64_t seed = 1;
+  /// Shard count for the conservative parallel engine (DESIGN.md §10);
+  /// 0 = serial legacy engine. Sharded runs skip the runtime checker (it
+  /// is serial-only), so programs meant for sharded execution must be
+  /// data-race-free under their own locks/barriers to have deterministic
+  /// outcomes.
+  unsigned shards = 0;
   /// Seeded per-processor start stagger + inter-op compute jitter. The
   /// model checker turns this off so the baseline timing is a pure function
   /// of the program and its schedule decisions.

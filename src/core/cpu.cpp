@@ -62,7 +62,7 @@ void Cpu::quantum_yield() {
   // get processed; we resume at our own local time.
   resume_scheduled_ = true;
   resume_mode_ = ResumeMode::kQuantum;
-  m_.engine().schedule_external(now_, resume_event_);
+  m_.sched_resume(id_, now_, resume_event_);
   sim::Fiber::yield();
 }
 
@@ -79,7 +79,7 @@ void Cpu::poke(Cycle t) {
   if (!blocked_ || resume_scheduled_) return;
   resume_scheduled_ = true;
   resume_mode_ = ResumeMode::kPoke;
-  m_.engine().schedule_external(std::max(t, now_), resume_event_);
+  m_.sched_resume(id_, std::max(t, now_), resume_event_);
 }
 
 void Cpu::on_resume(Cycle t) {
@@ -108,7 +108,7 @@ void Cpu::start(std::function<void(Cpu&)> body) {
   body_ = std::move(body);
   fiber_ = std::make_unique<sim::Fiber>([this] { run_body(); });
   resume_mode_ = ResumeMode::kStart;
-  m_.engine().schedule_external(0, resume_event_);
+  m_.sched_resume(id_, 0, resume_event_);
 }
 
 void Cpu::run_body() {

@@ -7,23 +7,36 @@ namespace lrc::mem {
 
 Cycle Dram::access(NodeId node, Cycle when, std::uint32_t bytes,
                    bool is_write) {
-  assert(node < free_.size());
-  const Cycle start = std::max(when, free_[node]);
+  assert(node < chans_.size());
+  Channel& ch = chans_[node];
+  const Cycle start = std::max(when, ch.free);
   // Nearly every access is a full cache line, so the size→cost division is
   // memoized on the last size seen (timing identical, just cheaper).
-  if (bytes != cached_bytes_) {
-    cached_bytes_ = bytes;
-    cached_cost_ = uncontended_cost(bytes);
+  if (bytes != ch.cached_bytes) {
+    ch.cached_bytes = bytes;
+    ch.cached_cost = uncontended_cost(bytes);
   }
-  const Cycle cost = cached_cost_;
-  free_[node] = start + cost;
+  const Cycle cost = ch.cached_cost;
+  ch.free = start + cost;
 
-  stats_.contention += start - when;
-  stats_.busy += cost;
-  stats_.bytes += bytes;
-  stats_.writes += is_write;
-  stats_.reads += !is_write;
+  ch.stats.contention += start - when;
+  ch.stats.busy += cost;
+  ch.stats.bytes += bytes;
+  ch.stats.writes += is_write;
+  ch.stats.reads += !is_write;
   return start + cost;
+}
+
+DramStats Dram::stats() const {
+  DramStats total;
+  for (const Channel& c : chans_) {
+    total.reads += c.stats.reads;
+    total.writes += c.stats.writes;
+    total.bytes += c.stats.bytes;
+    total.contention += c.stats.contention;
+    total.busy += c.stats.busy;
+  }
+  return total;
 }
 
 }  // namespace lrc::mem

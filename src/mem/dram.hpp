@@ -26,7 +26,9 @@ struct DramStats {
 class Dram {
  public:
   Dram(unsigned nodes, DramParams params)
-      : params_(params), free_(nodes, 0), cached_cost_(params.setup) {}
+      : params_(params), chans_(nodes) {
+    for (Channel& c : chans_) c.cached_cost = params.setup;
+  }
 
   /// Performs an access of `bytes` at `node` starting no earlier than `when`;
   /// returns the completion time. `is_write` only affects statistics.
@@ -37,15 +39,26 @@ class Dram {
     return params_.setup + ceil_div(bytes, params_.bandwidth);
   }
 
-  const DramStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = DramStats{}; }
+  /// Whole-machine totals (per-node counters summed in node order, so the
+  /// result is bit-identical regardless of which threads did the accesses).
+  DramStats stats() const;
+  const DramStats& node_stats(NodeId n) const { return chans_[n].stats; }
+  void reset_stats() {
+    for (Channel& c : chans_) c.stats = DramStats{};
+  }
 
  private:
+  // All mutable per-access state lives in the accessed node's channel, so
+  // sharded runs touch only shard-local cache lines here.
+  struct alignas(64) Channel {
+    Cycle free = 0;
+    std::uint32_t cached_bytes = 0;  // memoized size→cost pair (hot path)
+    Cycle cached_cost = 0;
+    DramStats stats;
+  };
+
   DramParams params_;
-  std::vector<Cycle> free_;
-  std::uint32_t cached_bytes_ = 0;  // memoized size→cost pair (hot path)
-  Cycle cached_cost_ = 0;
-  DramStats stats_;
+  std::vector<Channel> chans_;
 };
 
 }  // namespace lrc::mem

@@ -18,11 +18,10 @@
 // write notices until a release operation or the eviction of a written line.
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "proto/base.hpp"
+#include "util/flat_hash.hpp"
 
 namespace lrc::proto {
 
@@ -49,7 +48,7 @@ class Lrc : public ProtocolBase {
                     Cycle at) override;
 
   /// Lines queued for invalidation at `p`'s next acquire (tests).
-  const std::unordered_set<LineId>& pending_invals(NodeId p) const {
+  const util::FlatSet& pending_invals(NodeId p) const {
     return pending_inval_[p];
   }
 
@@ -110,7 +109,7 @@ class Lrc : public ProtocolBase {
   unsigned send_notices(DirEntry& e, LineId line, NodeId home, NodeId except,
                         Cycle at);
 
-  std::vector<std::unordered_set<LineId>> pending_inval_;
+  std::vector<util::FlatSet> pending_inval_;
 };
 
 /// The "aggressively lazy" variant: write notices are buffered locally and
@@ -124,7 +123,7 @@ class LrcExt final : public Lrc {
   void cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) override;
 
   /// Delayed (unannounced) writes at `p` (tests).
-  const std::unordered_map<LineId, WordMask>& delayed(NodeId p) const {
+  const util::FlatMap<WordMask>& delayed(NodeId p) const {
     return delayed_[p];
   }
 
@@ -139,10 +138,15 @@ class LrcExt final : public Lrc {
   /// invalidation time).
   void flush_delayed_line(NodeId p, LineId line, Cycle at);
 
-  std::vector<std::unordered_map<LineId, WordMask>> delayed_;
+  std::vector<util::FlatMap<WordMask>> delayed_;
+  /// Per-processor scratch for flush_for_release's snapshot of delayed
+  /// lines (the flush mutates the map mid-walk); reused so steady-state
+  /// releases allocate nothing, per-processor so concurrent releases on
+  /// different shards never share it.
+  std::vector<std::vector<LineId>> flush_scratch_;
   /// Lines whose writes this node has already announced to the home (they
   /// behave like base-LRC written lines until evicted or invalidated).
-  std::vector<std::unordered_set<LineId>> announced_;
+  std::vector<util::FlatSet> announced_;
 };
 
 }  // namespace lrc::proto

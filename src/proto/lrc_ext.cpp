@@ -7,7 +7,10 @@ namespace lrc::proto {
 using cache::LineState;
 
 LrcExt::LrcExt(core::Machine& m)
-    : Lrc(m), delayed_(m.nprocs()), announced_(m.nprocs()) {}
+    : Lrc(m),
+      delayed_(m.nprocs()),
+      flush_scratch_(m.nprocs()),
+      announced_(m.nprocs()) {}
 
 void LrcExt::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
   const NodeId p = cpu.id();
@@ -84,15 +87,15 @@ void LrcExt::note_local_write(NodeId p, LineId line, WordMask words) {
     // buffered, so the write is immediately (classifier-)visible.
     m_.classifier().on_write_committed(p, line, words);
   } else {
-    delayed_[p][line] |= words;
+    delayed_[p].get_or_create(line) |= words;
   }
 }
 
 void LrcExt::flush_delayed_line(NodeId p, LineId line, Cycle at) {
-  auto it = delayed_[p].find(line);
-  if (it == delayed_[p].end()) return;
-  const WordMask words = it->second;
-  delayed_[p].erase(it);
+  const WordMask* w = delayed_[p].find(line);
+  if (w == nullptr) return;
+  const WordMask words = *w;
+  delayed_[p].erase(line);
   announced_[p].insert(line);
   m_.classifier().on_write_committed(p, line, words);
 
@@ -107,11 +110,13 @@ void LrcExt::flush_delayed_line(NodeId p, LineId line, Cycle at) {
 
 void LrcExt::flush_for_release(core::Cpu& cpu) {
   const NodeId p = cpu.id();
-  // Copy the keys: flushing mutates the map.
-  std::vector<LineId> lines;
-  lines.reserve(delayed_[p].size());
-  for (const auto& [line, words] : delayed_[p]) lines.push_back(line);
-  for (LineId line : lines) flush_delayed_line(p, line, cpu.now());
+  // Snapshot the keys (flushing mutates the map) into a reused scratch
+  // buffer so steady-state releases allocate nothing.
+  std::vector<LineId>& scratch = flush_scratch_[p];
+  scratch.clear();
+  delayed_[p].for_each(
+      [&scratch](LineId line, WordMask) { scratch.push_back(line); });
+  for (LineId line : scratch) flush_delayed_line(p, line, cpu.now());
 }
 
 bool LrcExt::drained(core::Cpu& cpu) const {

@@ -239,7 +239,7 @@ void MsiBase::evict_victim(NodeId p, const cache::CacheLine& victim,
   // without a copy.
 }
 
-void MsiBase::unbusy_and_replay(DirEntry& e, Cycle at) {
+void MsiBase::unbusy_and_replay(DirEntry& e, LineId line, Cycle at) {
   e.busy = false;
   e.pending_requester = kInvalidNode;
   e.pending_owner = kInvalidNode;
@@ -247,9 +247,9 @@ void MsiBase::unbusy_and_replay(DirEntry& e, Cycle at) {
   e.pending_mem_done = 0;
   // redeliver() only schedules a RedeliverEvent (no reentrant dispatch), so
   // the queue can be walked in place and then reclaimed.
-  e.deferred.for_each(dir_.msg_pool(),
+  e.deferred.for_each(dir_.msg_pool(line),
                       [&](const Message& msg) { m_.redeliver(msg, at); });
-  e.deferred.clear(dir_.msg_pool());
+  e.deferred.clear(dir_.msg_pool(line));
 }
 
 // ---- Message dispatch --------------------------------------------------------
@@ -291,7 +291,7 @@ Cycle MsiBase::home_read(const Message& msg, Cycle start) {
   const NodeId req = msg.src;
   DirEntry& e = dir_.entry(msg.line);
   if (e.busy) {
-    e.deferred.push_back(msg, dir_.msg_pool());
+    e.deferred.push_back(msg, dir_.msg_pool(msg.line));
     return 1;
   }
   switch (e.state) {
@@ -337,7 +337,7 @@ Cycle MsiBase::home_write(const Message& msg, Cycle start) {
   const NodeId req = msg.src;
   DirEntry& e = dir_.entry(msg.line);
   if (e.busy) {
-    e.deferred.push_back(msg, dir_.msg_pool());
+    e.deferred.push_back(msg, dir_.msg_pool(msg.line));
     return 1;
   }
   // An upgrade only remains an upgrade if the requester still holds a copy.
@@ -432,7 +432,7 @@ Cycle MsiBase::home_writeback(const Message& msg, Cycle start) {
       send(std::max(mem, start + dir_cost()), MsgKind::kReadExReply, home, req,
            msg.line, line_bytes());
     }
-    unbusy_and_replay(e, start + dir_cost());
+    unbusy_and_replay(e, msg.line, start + dir_cost());
     return dir_cost();
   }
 
@@ -455,7 +455,7 @@ Cycle MsiBase::home_sharing_wb(const Message& msg, Cycle start) {
   e.state = DirState::kShared;
   e.writers = 0;
   e.sharers |= proc_bit(owner) | proc_bit(e.pending_requester);
-  unbusy_and_replay(e, start + dir_cost());
+  unbusy_and_replay(e, msg.line, start + dir_cost());
   return dir_cost();
 }
 
@@ -470,7 +470,7 @@ Cycle MsiBase::home_inval_ack(const Message& msg, Cycle start) {
     e.state = DirState::kDirty;
     e.sharers = proc_bit(req);
     e.writers = proc_bit(req);
-    unbusy_and_replay(e, start + cost);
+    unbusy_and_replay(e, msg.line, start + cost);
     return cost;
   }
 
@@ -499,7 +499,7 @@ Cycle MsiBase::home_inval_ack(const Message& msg, Cycle start) {
       send(std::max(mem, start + cost), MsgKind::kReadExReply, home, req,
            msg.line, line_bytes());
     }
-    unbusy_and_replay(e, start + cost);
+    unbusy_and_replay(e, msg.line, start + cost);
     return cost;
   }
 
@@ -516,7 +516,7 @@ Cycle MsiBase::home_inval_ack(const Message& msg, Cycle start) {
     e.state = DirState::kDirty;
     e.sharers = proc_bit(req);
     e.writers = proc_bit(req);
-    unbusy_and_replay(e, start + cost);
+    unbusy_and_replay(e, msg.line, start + cost);
   }
   return cost;
 }

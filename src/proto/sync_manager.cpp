@@ -10,7 +10,11 @@ namespace lrc::proto {
 using mesh::Message;
 using mesh::MsgKind;
 
-SyncManager::SyncManager(core::Machine& m) : m_(m) {}
+SyncManager::SyncManager(core::Machine& m)
+    : m_(m),
+      locks_(m.nprocs()),
+      barriers_(m.nprocs()),
+      stats_(m.nprocs()) {}
 
 NodeId SyncManager::home_of(SyncId s) const {
   return static_cast<NodeId>(s % m_.nprocs());
@@ -56,8 +60,9 @@ Cycle SyncManager::handle(const Message& msg, Cycle start) {
   const Cycle done = start + cost;
   switch (msg.kind) {
     case MsgKind::kLockReq: {
-      LockState& l = locks_[msg.sync];
-      ++stats_.lock_requests;
+      LockState& l = locks_[msg.dst][msg.sync];
+      SyncStats& st = stats_[msg.dst];
+      ++st.lock_requests;
       if (!l.held) {
         l.held = true;
         l.holder = msg.src;
@@ -69,14 +74,14 @@ Cycle SyncManager::handle(const Message& msg, Cycle start) {
         m_.nic().send(done, grant);
       } else {
         l.waiters.push_back(msg.src);
-        ++stats_.queued_requests;
-        stats_.max_queue = std::max<std::uint64_t>(stats_.max_queue,
-                                                   l.waiters.size());
+        ++st.queued_requests;
+        st.max_queue = std::max<std::uint64_t>(st.max_queue,
+                                               l.waiters.size());
       }
       break;
     }
     case MsgKind::kLockRel: {
-      LockState& l = locks_[msg.sync];
+      LockState& l = locks_[msg.dst][msg.sync];
       assert(l.held && l.holder == msg.src && "unlock of lock not held");
       if (l.waiters.empty()) {
         l.held = false;
@@ -94,17 +99,17 @@ Cycle SyncManager::handle(const Message& msg, Cycle start) {
       break;
     }
     case MsgKind::kLockGrant: {
-      ++m_.lock_acquires;
-      ++stats_.lock_grants;
+      m_.note_lock_acquire(msg.dst);
+      ++stats_[msg.dst].lock_grants;
       if (on_lock_granted) on_lock_granted(msg.dst, msg.sync, done);
       break;
     }
     case MsgKind::kBarrierArrive: {
-      ++stats_.barrier_arrivals;
-      BarrierState& b = barriers_[msg.sync];
+      ++stats_[msg.dst].barrier_arrivals;
+      BarrierState& b = barriers_[msg.dst][msg.sync];
       if (++b.arrived == m_.nprocs()) {
         b.arrived = 0;
-        ++m_.barrier_episodes;
+        m_.note_barrier_episode(msg.dst);
         for (NodeId p = 0; p < m_.nprocs(); ++p) {
           Message rel;
           rel.kind = MsgKind::kBarrierRelease;
@@ -127,13 +132,27 @@ Cycle SyncManager::handle(const Message& msg, Cycle start) {
 }
 
 bool SyncManager::lock_held(SyncId s) const {
-  auto it = locks_.find(s);
-  return it != locks_.end() && it->second.held;
+  const auto& home = locks_[home_of(s)];
+  auto it = home.find(s);
+  return it != home.end() && it->second.held;
 }
 
 std::size_t SyncManager::lock_queue_len(SyncId s) const {
-  auto it = locks_.find(s);
-  return it == locks_.end() ? 0 : it->second.waiters.size();
+  const auto& home = locks_[home_of(s)];
+  auto it = home.find(s);
+  return it == home.end() ? 0 : it->second.waiters.size();
+}
+
+SyncStats SyncManager::stats() const {
+  SyncStats total;
+  for (const SyncStats& s : stats_) {
+    total.lock_requests += s.lock_requests;
+    total.lock_grants += s.lock_grants;
+    total.queued_requests += s.queued_requests;
+    total.max_queue = std::max(total.max_queue, s.max_queue);
+    total.barrier_arrivals += s.barrier_arrivals;
+  }
+  return total;
 }
 
 }  // namespace lrc::proto

@@ -9,6 +9,7 @@
 #include <deque>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "mesh/message.hpp"
 #include "sim/types.hpp"
@@ -54,10 +55,13 @@ class SyncManager {
   std::function<void(NodeId p, SyncId s, Cycle t)> on_lock_granted;
   std::function<void(NodeId p, SyncId s, Cycle t)> on_barrier_released;
 
-  // Introspection for tests and reports.
+  // Introspection for tests and reports. stats() sums the per-node rows in
+  // node order (max_queue merges with max), so sharded totals are
+  // bit-identical to a serial run's single accumulator.
   bool lock_held(SyncId s) const;
   std::size_t lock_queue_len(SyncId s) const;
-  const SyncStats& stats() const { return stats_; }
+  SyncStats stats() const;
+  const SyncStats& node_stats(NodeId n) const { return stats_[n]; }
 
  private:
   struct LockState {
@@ -70,9 +74,12 @@ class SyncManager {
   };
 
   core::Machine& m_;
-  std::unordered_map<SyncId, LockState> locks_;
-  std::unordered_map<SyncId, BarrierState> barriers_;
-  SyncStats stats_;
+  // Lock/barrier state is partitioned by home node (home_of(s) is the only
+  // node that ever touches variable s's entry), and counters by acting
+  // node, so sharded runs mutate only shard-local rows.
+  std::vector<std::unordered_map<SyncId, LockState>> locks_;    // [home]
+  std::vector<std::unordered_map<SyncId, BarrierState>> barriers_;  // [home]
+  std::vector<SyncStats> stats_;  // [acting node]
 };
 
 }  // namespace lrc::proto

@@ -9,6 +9,10 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+#ifdef LRC_FIBER_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+
 #ifdef LRC_FIBER_FAST_SWITCH
 // lrc_fiber_switch(save_sp, load_sp): pushes the System V callee-saved
 // registers, stores rsp to *save_sp, installs load_sp, pops the registers
@@ -69,9 +73,16 @@ Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
   *frame = reinterpret_cast<void*>(&Fiber::trampoline);
   for (int i = 1; i <= 6; ++i) frame[-i] = nullptr;  // popped register slots
   ctx_sp_ = frame - 6;
+#ifdef LRC_FIBER_TSAN
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
 }
 
-Fiber::~Fiber() = default;
+Fiber::~Fiber() {
+#ifdef LRC_FIBER_TSAN
+  __tsan_destroy_fiber(tsan_fiber_);
+#endif
+}
 
 void Fiber::trampoline() {
   Fiber* self = g_current;
@@ -79,6 +90,9 @@ void Fiber::trampoline() {
   self->fn_();
   self->finished_ = true;
   // Dying switch back to the caller; never returns (ctx_sp_ is dead).
+#ifdef LRC_FIBER_TSAN
+  __tsan_switch_to_fiber(self->tsan_caller_, 0);
+#endif
   lrc_fiber_switch(&self->ctx_sp_, self->caller_sp_);
   std::abort();  // unreachable
 }
@@ -88,6 +102,12 @@ void Fiber::resume() {
   assert(!finished_);
   g_current = this;
   started_ = true;
+#ifdef LRC_FIBER_TSAN
+  // Refreshed per resume: sharded runs drive each fiber from its shard's
+  // worker thread, not necessarily the thread that constructed it.
+  tsan_caller_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
   lrc_fiber_switch(&caller_sp_, ctx_sp_);
   g_current = nullptr;
 }
@@ -96,6 +116,9 @@ void Fiber::yield() {
   Fiber* self = g_current;
   assert(self != nullptr && "yield() must be called from inside a fiber");
   g_current = nullptr;
+#ifdef LRC_FIBER_TSAN
+  __tsan_switch_to_fiber(self->tsan_caller_, 0);
+#endif
   lrc_fiber_switch(&self->ctx_sp_, self->caller_sp_);
   g_current = self;
 }
@@ -111,11 +134,17 @@ Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
   ctx_.uc_stack.ss_size = stack_.size();
   ctx_.uc_link = &caller_;  // return to caller context on function exit
   makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+#ifdef LRC_FIBER_TSAN
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
 }
 
 Fiber::~Fiber() {
   // A fiber destroyed while suspended simply abandons its stack; the
   // engine guarantees all program fibers run to completion before teardown.
+#ifdef LRC_FIBER_TSAN
+  __tsan_destroy_fiber(tsan_fiber_);
+#endif
 }
 
 void Fiber::trampoline() {
@@ -135,6 +164,9 @@ void Fiber::trampoline() {
   __sanitizer_start_switch_fiber(nullptr, self->asan_caller_stack_,
                                  self->asan_caller_size_);
 #endif
+#ifdef LRC_FIBER_TSAN
+  __tsan_switch_to_fiber(self->tsan_caller_, 0);
+#endif
   // Falling off the end returns to uc_link (the caller_ context captured by
   // the most recent resume()).
 }
@@ -147,6 +179,10 @@ void Fiber::resume() {
 #ifdef LRC_FIBER_ASAN
   void* fake = nullptr;
   __sanitizer_start_switch_fiber(&fake, stack_.data(), stack_.size());
+#endif
+#ifdef LRC_FIBER_TSAN
+  tsan_caller_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
 #endif
   swapcontext(&caller_, &ctx_);
 #ifdef LRC_FIBER_ASAN
@@ -163,6 +199,9 @@ void Fiber::yield() {
   __sanitizer_start_switch_fiber(&self->asan_fake_stack_,
                                  self->asan_caller_stack_,
                                  self->asan_caller_size_);
+#endif
+#ifdef LRC_FIBER_TSAN
+  __tsan_switch_to_fiber(self->tsan_caller_, 0);
 #endif
   swapcontext(&self->ctx_, &self->caller_);
 #ifdef LRC_FIBER_ASAN

@@ -28,6 +28,20 @@
 #endif
 #endif
 
+// ThreadSanitizer likewise needs explicit fiber bookkeeping
+// (__tsan_create_fiber / __tsan_switch_to_fiber): without it, a stack
+// switch looks like one thread's shadow stack teleporting, which corrupts
+// TSan's per-thread state and yields bogus reports. TSan has no fake-stack
+// machinery, so the fast-switch path stays enabled — only the annotations
+// are added around each switch.
+#if defined(__SANITIZE_THREAD__)
+#define LRC_FIBER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LRC_FIBER_TSAN 1
+#endif
+#endif
+
 #if defined(__x86_64__) && !defined(LRC_FIBER_ASAN) && \
     !defined(LRC_FIBER_FORCE_UCONTEXT)
 #define LRC_FIBER_FAST_SWITCH 1
@@ -79,6 +93,11 @@ class Fiber {
   void* asan_fake_stack_ = nullptr;
   const void* asan_caller_stack_ = nullptr;
   std::size_t asan_caller_size_ = 0;
+
+  // ThreadSanitizer fiber bookkeeping (unused in plain builds): this
+  // fiber's TSan context and the caller thread's context to switch back to.
+  void* tsan_fiber_ = nullptr;
+  void* tsan_caller_ = nullptr;
 };
 
 }  // namespace lrc::sim

@@ -1,0 +1,149 @@
+// Conservative parallel-DES shard synchronization (DESIGN.md §10).
+//
+// A sharded run gives every shard its own Engine (calendar queue + pools)
+// and advances all shards through barrier-aligned time windows of width L,
+// the lookahead: the minimum latency any cross-shard interaction can have.
+// Within a window [W, W+L) every shard executes its local events freely;
+// cross-shard work produced inside the window cannot be timestamped before
+// W+L, so it is published to the destination shard's inbox and drained at
+// the window boundary, after a full barrier. The next window base is the
+// global minimum next-event time (computed identically by every shard from
+// the published per-shard minima), so runs fast-forward over idle spans
+// instead of stepping empty windows.
+//
+// Soundness: every cross-shard effect in this simulator travels as a
+// mesh::NIC message with latency >= min_hops * (switch + wire) >= L, and
+// the drain-before-execute discipline means a shard never starts window W'
+// until every event that could schedule into [W', W'+L) has fired and
+// published. Determinism is the keyed engine's job (Engine::set_keyed):
+// the total (when, key) order is a pure function of the program, so stats
+// are bit-identical for any shard count and any host-thread interleaving.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/types.hpp"
+
+namespace lrc::sim {
+
+/// Sense-reversing centralized barrier for a fixed set of workers. Windows
+/// are short (tens of events), so waiters spin briefly first — but only
+/// briefly: with more shards than free cores (or a 1-core host), unbounded
+/// spinning serializes every window through a full scheduler quantum. After
+/// the spin budget, waiters park on the generation word (futex via C++20
+/// atomic wait) so the releasing shard's store wakes them directly.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(unsigned n) : n_(n) {}
+
+  void arrive_and_wait() {
+    const std::uint32_t gen = gen_.load(std::memory_order_relaxed);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+      count_.store(0, std::memory_order_relaxed);
+      gen_.store(gen + 1, std::memory_order_release);
+      gen_.notify_all();
+    } else {
+      for (int spins = 0; spins < 1024; ++spins) {
+        if (gen_.load(std::memory_order_acquire) != gen) return;
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+      }
+      while (gen_.load(std::memory_order_acquire) == gen) {
+        gen_.wait(gen, std::memory_order_acquire);
+      }
+    }
+  }
+
+ private:
+  const std::uint32_t n_;
+  std::atomic<std::uint32_t> count_{0};
+  std::atomic<std::uint32_t> gen_{0};
+};
+
+/// Barrier-window clock protocol over a fixed set of engines. Each worker
+/// thread calls run_shard(s, ...) with its shard index; all workers step
+/// through identical window sequences and exit together when every engine
+/// is drained.
+///
+/// One barrier per window: before arriving, each shard publishes
+/// min(its queue's next event, arrival times of the messages it just
+/// posted) — the minimum over those per-shard values equals the true
+/// global next-event time, because every in-flight message is in exactly
+/// one poster's outbox. Inbox draining happens after the barrier; since a
+/// peer may already be executing the next window (and posting new
+/// messages) while a slow shard still drains, mailboxes must be
+/// double-buffered by window parity — the barrier bounds the skew to one
+/// window, so two buffers suffice (see Machine::drain_shard).
+class ShardSync {
+ public:
+  /// `outbox_min(ctx, shard)` returns the earliest arrival time among the
+  /// cross-shard messages `shard` posted in the window just executed (kNever
+  /// if none); called between run_until and the barrier.
+  using OutboxMinFn = Cycle (*)(void* ctx, unsigned shard);
+  /// `drain(ctx, shard)` schedules into engine `shard` everything other
+  /// shards posted for it during the window just completed, and flips the
+  /// shard's mailbox parity; called after the barrier.
+  using DrainFn = void (*)(void* ctx, unsigned shard);
+
+  ShardSync(std::vector<Engine*> engines, Cycle lookahead)
+      : engines_(std::move(engines)),
+        lookahead_(lookahead),
+        barrier_(static_cast<unsigned>(engines_.size())) {
+    assert(lookahead_ >= 1);
+    for (auto& buf : next_min_) {
+      // Not resize(): atomics are immovable, but the sized constructor
+      // builds them in place and vector swap moves no elements.
+      std::vector<PaddedCycle> sized(engines_.size());
+      buf.swap(sized);
+    }
+  }
+
+  Cycle lookahead() const { return lookahead_; }
+
+  /// Executes shard `s` to completion on the calling thread. Every shard
+  /// index in [0, engines.size()) must be driven by exactly one thread.
+  void run_shard(unsigned s, OutboxMinFn outbox_min, DrainFn drain,
+                 void* ctx) {
+    Engine& eng = *engines_[s];
+    Cycle window = 0;
+    // Window parity: a fast shard may publish window k+1's minimum while a
+    // slow one still reduces window k's, so minima are double-buffered like
+    // the mailboxes (reusing a parity takes two barrier crossings, which
+    // the slow shard's missing arrival blocks).
+    unsigned par = 0;
+    for (;;) {
+      eng.run_until(window + lookahead_);
+      Cycle local = eng.next_when();
+      if (const Cycle out = outbox_min(ctx, s); out < local) local = out;
+      next_min_[par][s].v.store(local, std::memory_order_relaxed);
+      // One barrier: minima published by all, posts complete on all sides.
+      barrier_.arrive_and_wait();
+      Cycle m = kNever;
+      for (const auto& x : next_min_[par]) {
+        const Cycle v = x.v.load(std::memory_order_relaxed);
+        if (v < m) m = v;
+      }
+      if (m == kNever) break;  // unanimous: every queue and outbox is empty
+      drain(ctx, s);
+      window = m;  // fast-forward: identical on every shard
+      par ^= 1;
+    }
+  }
+
+ private:
+  struct alignas(64) PaddedCycle {  // one cache line per shard: no false sharing
+    std::atomic<Cycle> v;
+  };
+
+  std::vector<Engine*> engines_;
+  const Cycle lookahead_;
+  SpinBarrier barrier_;
+  std::vector<PaddedCycle> next_min_[2];  // [window parity][shard]
+};
+
+}  // namespace lrc::sim

@@ -49,6 +49,11 @@ class FlatMap {
   bool empty() const { return size_ == 0; }
   std::size_t capacity() const { return slots_.size(); }
 
+  /// unordered_map-compatible membership spelling (tests).
+  std::size_t count(std::uint64_t key) const {
+    return find(key) != nullptr ? 1 : 0;
+  }
+
   V* find(std::uint64_t key) {
     assert(key != kEmptyKey);
     if (slots_.empty()) return nullptr;
@@ -158,6 +163,135 @@ class FlatMap {
   std::size_t size_ = 0;
   std::size_t mask_ = 0;
   std::size_t grow_at_ = 0;  // grow when size_ reaches this (7/8 load)
+  unsigned shift_ = 64;
+};
+
+/// Open-addressed set of 64-bit keys (linear probing, backward-shift erase,
+/// same layout rules as FlatMap). Iteration order is table order: a pure
+/// function of the insert/erase history, so simulations that send messages
+/// while walking a set stay deterministic. Steady-state insert/erase churn
+/// allocates nothing once the table reaches its high-water capacity.
+class FlatSet {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+  FlatSet() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool contains(std::uint64_t key) const {
+    assert(key != kEmptyKey);
+    if (slots_.empty()) return false;
+    for (std::size_t i = index_of(key);; i = (i + 1) & mask_) {
+      if (slots_[i] == key) return true;
+      if (slots_[i] == kEmptyKey) return false;
+    }
+  }
+  /// unordered_set-compatible spelling (tests).
+  std::size_t count(std::uint64_t key) const { return contains(key) ? 1 : 0; }
+
+  /// Inserts `key`; returns true when it was not already present.
+  bool insert(std::uint64_t key) {
+    assert(key != kEmptyKey);
+    if (size_ >= grow_at_) grow();
+    for (std::size_t i = index_of(key);; i = (i + 1) & mask_) {
+      if (slots_[i] == key) return false;
+      if (slots_[i] == kEmptyKey) {
+        slots_[i] = key;
+        ++size_;
+        return true;
+      }
+    }
+  }
+
+  bool erase(std::uint64_t key) {
+    assert(key != kEmptyKey);
+    if (slots_.empty()) return false;
+    std::size_t i = index_of(key);
+    for (;; i = (i + 1) & mask_) {
+      if (slots_[i] == key) break;
+      if (slots_[i] == kEmptyKey) return false;
+    }
+    std::size_t hole = i;
+    for (std::size_t j = (hole + 1) & mask_;; j = (j + 1) & mask_) {
+      const std::uint64_t k = slots_[j];
+      if (k == kEmptyKey) break;
+      const std::size_t home = index_of(k);
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = k;
+        hole = j;
+      }
+    }
+    slots_[hole] = kEmptyKey;
+    --size_;
+    return true;
+  }
+
+  /// Drops all keys; keeps the table's capacity (no shrink, no allocation).
+  void clear() {
+    if (size_ == 0) return;
+    for (std::uint64_t& k : slots_) k = kEmptyKey;
+    size_ = 0;
+  }
+
+  /// Skips empty slots; table (not insertion) order.
+  class const_iterator {
+   public:
+    const_iterator(const std::uint64_t* p, const std::uint64_t* end)
+        : p_(p), end_(end) {
+      skip();
+    }
+    std::uint64_t operator*() const { return *p_; }
+    const_iterator& operator++() {
+      ++p_;
+      skip();
+      return *this;
+    }
+    bool operator!=(const const_iterator& o) const { return p_ != o.p_; }
+
+   private:
+    void skip() {
+      while (p_ != end_ && *p_ == kEmptyKey) ++p_;
+    }
+    const std::uint64_t* p_;
+    const std::uint64_t* end_;
+  };
+  const_iterator begin() const {
+    return {slots_.data(), slots_.data() + slots_.size()};
+  }
+  const_iterator end() const {
+    const std::uint64_t* e = slots_.data() + slots_.size();
+    return {e, e};
+  }
+
+ private:
+  std::size_t index_of(std::uint64_t key) const {
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> shift_);
+  }
+
+  void grow() {
+    const std::size_t cap = slots_.empty() ? kInitialCapacity
+                                           : slots_.size() * 2;
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(cap, kEmptyKey);
+    mask_ = cap - 1;
+    shift_ = 64 - std::countr_zero(cap);
+    grow_at_ = cap - cap / 8;
+    for (std::uint64_t k : old) {
+      if (k == kEmptyKey) continue;
+      std::size_t i = index_of(k);
+      while (slots_[i] != kEmptyKey) i = (i + 1) & mask_;
+      slots_[i] = k;
+    }
+  }
+
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+  std::size_t grow_at_ = 0;
   unsigned shift_ = 64;
 };
 

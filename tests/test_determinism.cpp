@@ -170,32 +170,32 @@ TEST(Determinism, GoldenStatsMatrix) {
       // clang-format off
       {"gauss", "SC", 0x9a2f4806d9eb86d3ull},
       {"gauss", "ERC", 0x75807377d8169720ull},
-      {"gauss", "LRC", 0x9d01c1af4030df97ull},
-      {"gauss", "LRC-ext", 0x28b815ce6de71b24ull},
+      {"gauss", "LRC", 0x4f58ab607bf669fcull},
+      {"gauss", "LRC-ext", 0x2eef03c1ffee4d56ull},
       {"fft", "SC", 0xa2b01ec89aba2f90ull},
       {"fft", "ERC", 0x32c1a11b59bd9605ull},
-      {"fft", "LRC", 0x63593883ed1ec7adull},
+      {"fft", "LRC", 0x2d4e5acf08c94bc9ull},
       {"fft", "LRC-ext", 0x6dcc7ce8b3c85e05ull},
       {"blu", "SC", 0xf80fc71f4a70bc11ull},
       {"blu", "ERC", 0x0f2105f7fea12f5dull},
-      {"blu", "LRC", 0xd280707aaa9680b5ull},
-      {"blu", "LRC-ext", 0x7ea85f3bf96dc69aull},
+      {"blu", "LRC", 0x7c083461f5159ebcull},
+      {"blu", "LRC-ext", 0x8c968f07cf8a1107ull},
       {"barnes", "SC", 0xd198d5cd2833c1f9ull},
       {"barnes", "ERC", 0xb94647a9e06dea34ull},
-      {"barnes", "LRC", 0x51bb4e461e3be48dull},
-      {"barnes", "LRC-ext", 0xce00f1d6733a7d96ull},
+      {"barnes", "LRC", 0x7cae7f9f085d7862ull},
+      {"barnes", "LRC-ext", 0xc55afa8b4b28b081ull},
       {"cholesky", "SC", 0xa9626d92cd82807eull},
       {"cholesky", "ERC", 0xe2574d64d65c7cfbull},
-      {"cholesky", "LRC", 0xd645c856c8bd48a7ull},
-      {"cholesky", "LRC-ext", 0xc4c815248a96c548ull},
+      {"cholesky", "LRC", 0x7de20d046ff35803ull},
+      {"cholesky", "LRC-ext", 0xb2cf14dd65454004ull},
       {"locusroute", "SC", 0x0c4d0ade05c65cabull},
       {"locusroute", "ERC", 0xce179caa47e500e9ull},
-      {"locusroute", "LRC", 0x64d069ce4b60645bull},
-      {"locusroute", "LRC-ext", 0x1566b716be7130c5ull},
+      {"locusroute", "LRC", 0xf385f28b91ebeddeull},
+      {"locusroute", "LRC-ext", 0xddcc08625523330full},
       {"mp3d", "SC", 0x600c44f1b85e095bull},
       {"mp3d", "ERC", 0x1ef7f3314f82277eull},
-      {"mp3d", "LRC", 0x8c7f6c88b8cade00ull},
-      {"mp3d", "LRC-ext", 0x9bdcaf454eb09779ull},
+      {"mp3d", "LRC", 0x88bf0c35b5d71690ull},
+      {"mp3d", "LRC-ext", 0x243d9170cc6c4771ull},
       // clang-format on
   };
 

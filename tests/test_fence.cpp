@@ -38,7 +38,7 @@ TEST(Fence, AppliesBufferedInvalidationsUnderLrc) {
   for (LineId l : lrc.pending_invals(1)) {
     EXPECT_NE(m.cpu(1).dcache().find(l), nullptr);
   }
-  EXPECT_EQ(m.lock_acquires, 1u);  // the fence itself acquired nothing
+  EXPECT_EQ(m.lock_acquires(), 1u);  // the fence itself acquired nothing
 }
 
 TEST(Fence, IsFreeUnderEagerProtocols) {

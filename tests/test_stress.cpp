@@ -81,7 +81,7 @@ TEST(Stress, SixtyFourWayLockConvoy) {
       cpu.unlock(0);
     });
     EXPECT_EQ(m.peek<std::int64_t>(x.addr(0)), 64) << to_string(kind);
-    EXPECT_EQ(m.lock_acquires, 64u);
+    EXPECT_EQ(m.lock_acquires(), 64u);
   }
 }
 
@@ -98,7 +98,7 @@ TEST(Stress, ManyBarrierEpisodes) {
         cpu.barrier(0);
       }
     });
-    EXPECT_EQ(m.barrier_episodes, 2u * kRounds) << to_string(kind);
+    EXPECT_EQ(m.barrier_episodes(), 2u * kRounds) << to_string(kind);
   }
 }
 

@@ -23,7 +23,7 @@ TEST(Sync, LockProvidesMutualExclusion) {
   // Lock-protected increments never get lost, under any protocol.
   EXPECT_EQ(m.peek<std::int64_t>(counter.addr(0)),
             static_cast<std::int64_t>(8 * kIters));
-  EXPECT_EQ(m.lock_acquires, 8u * kIters);
+  EXPECT_EQ(m.lock_acquires(), 8u * kIters);
 }
 
 TEST(Sync, LocksAreGrantedFifo) {
@@ -59,7 +59,7 @@ TEST(Sync, BarrierGathersEveryone) {
   for (unsigned p = 0; p < 8; ++p) {
     EXPECT_EQ(m.peek<std::int32_t>(sums.addr(p)), 8);
   }
-  EXPECT_EQ(m.barrier_episodes, 1u);
+  EXPECT_EQ(m.barrier_episodes(), 1u);
 }
 
 TEST(Sync, BarrierIsReusable) {
@@ -74,7 +74,7 @@ TEST(Sync, BarrierIsReusable) {
       cpu.barrier(0);
     }
   });
-  EXPECT_EQ(m.barrier_episodes, 2u * kRounds);
+  EXPECT_EQ(m.barrier_episodes(), 2u * kRounds);
 }
 
 TEST(Sync, DistinctLocksDoNotInterfere) {
