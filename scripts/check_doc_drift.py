@@ -1,23 +1,27 @@
 #!/usr/bin/env python3
 """Fail when the reference docs and the sources drift apart.
 
-Checked docs: docs/PROTOCOL.md (protocol states/messages/tags),
-docs/MODELCHECK.md (explorer + mutation hooks), docs/VERIFICATION.md
-(layer map); DESIGN.md is checked for anchors only (rule 3 below).
-For each, in both directions where applicable:
+The name inventories (enum members, kTag* constants, Event::kNoActor) come
+from the static protocol model (tools/proto_model.py) instead of ad-hoc
+regexes, so this script and the static-analysis layer can never disagree
+about what exists in the sources. The PROTOCOL.md *tables* (per-kind
+"Used by" column, home-transition rows/columns) are gated separately by
+`run_static_checks.py` against the same model; here we keep the cheaper
+mention-level checks that cover all docs:
 
-  1. Forward: every DirState member (src/proto/directory.hpp), MsgKind
-     member (src/mesh/message.hpp), and kTag* constant (src/proto/*) must
-     be mentioned in docs/PROTOCOL.md; every Mutation member
-     (src/check/checker.hpp) must be mentioned in docs/MODELCHECK.md.
+  1. Forward: every DirState, MsgKind, and kTag* name must be mentioned in
+     docs/PROTOCOL.md; every Mutation member must be mentioned in
+     docs/MODELCHECK.md.
   2. Reverse: every `kSomething` token used in a checked doc must exist in
      the union of the code-side names — a renamed or deleted state,
      message, or mutation makes the doc reference fail here.
   3. Every `<dir>/<path>:<line>` anchor (dir in src/tools/tests/bench)
-     must point at an existing file, and when the anchor names a symbol —
-     the form is `src/foo.cpp:123` (`symbol`) — that symbol must occur
-     within +/-40 lines of the anchored line, so anchors rot loudly, not
-     silently.
+     must point at an existing file. When the anchor names a symbol — the
+     form is `src/foo.cpp:123` (`symbol`) — and that symbol is a function
+     the model knows in that file, the anchored line must fall inside the
+     function's exact [start, end] span; for symbols the model has no span
+     for (members, constants, types) the +/-40-line window still applies.
+     Any anchor problem exits 1.
 
 Run from the repository root:  python3 scripts/check_doc_drift.py
 """
@@ -27,6 +31,9 @@ import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+import proto_model  # noqa: E402
+
 DOCS = [
     ROOT / "docs" / "PROTOCOL.md",
     ROOT / "docs" / "MODELCHECK.md",
@@ -37,42 +44,7 @@ DOCS = [
 ANCHOR_ONLY_DOCS = [
     ROOT / "DESIGN.md",
 ]
-ANCHOR_SLACK = 40  # lines a symbol may move before an anchor is stale
-
-
-def parse_enum(path: Path, enum_name: str) -> set[str]:
-    """Member names of `enum class <enum_name>` in `path`."""
-    text = path.read_text()
-    m = re.search(
-        r"enum\s+class\s+" + enum_name + r"\b[^{]*\{(.*?)\};", text, re.S
-    )
-    if m is None:
-        sys.exit(f"error: enum class {enum_name} not found in {path}")
-    body = re.sub(r"//[^\n]*", "", m.group(1))  # strip comments
-    members = set(re.findall(r"\b(k[A-Z][A-Za-z0-9]*)\b", body))
-    members.discard("kCount")  # sentinel, not a real state/kind
-    return members
-
-
-def parse_tags() -> set[str]:
-    """kTag* constants across the protocol layer."""
-    tags: set[str] = set()
-    for src in sorted((ROOT / "src" / "proto").glob("*.[ch]pp")):
-        for line in src.read_text().splitlines():
-            m = re.search(r"constexpr\s+\S+\s+(kTag[A-Za-z0-9]+)\s*=", line)
-            if m:
-                tags.add(m.group(1))
-    return tags
-
-
-def parse_constants(path: Path) -> set[str]:
-    """constexpr k* constants in one source file (e.g. Event::kNoActor)."""
-    names: set[str] = set()
-    for line in path.read_text().splitlines():
-        m = re.search(r"constexpr\s+[^=]*?\b(k[A-Z][A-Za-z0-9]*)\s*=", line)
-        if m:
-            names.add(m.group(1))
-    return names
+ANCHOR_SLACK = 40  # window for symbols without a model-known span
 
 
 def check_forward(
@@ -105,7 +77,22 @@ ANCHOR_RE = re.compile(
 )
 
 
-def check_anchors(doc: Path, doc_text: str) -> list[str]:
+def function_spans(model_json: dict) -> dict[tuple[str, str], list[tuple[int, int]]]:
+    """(file, unqualified name) -> [(start, end), ...] from the model."""
+    spans: dict[tuple[str, str], list[tuple[int, int]]] = {}
+    for qualname, loc in model_json["functions"].items():
+        leaf = qualname.rsplit("::", 1)[-1]
+        spans.setdefault((loc["file"], leaf), []).append(
+            (loc["start"], loc["end"])
+        )
+    return spans
+
+
+def check_anchors(
+    doc: Path,
+    doc_text: str,
+    spans: dict[tuple[str, str], list[tuple[int, int]]],
+) -> list[str]:
     rel = doc.relative_to(ROOT)
     errors = []
     for lineno, line in enumerate(doc_text.splitlines(), start=1):
@@ -124,16 +111,27 @@ def check_anchors(doc: Path, doc_text: str) -> list[str]:
                     f"the end of the file ({len(src_lines)} lines)"
                 )
                 continue
-            if symbol:
-                lo = max(0, n - 1 - ANCHOR_SLACK)
-                hi = min(len(src_lines), n + ANCHOR_SLACK)
-                window = "\n".join(src_lines[lo:hi])
-                if re.search(r"\b" + re.escape(symbol) + r"\b", window) is None:
+            if not symbol:
+                continue
+            known_spans = spans.get((path_str, symbol))
+            if known_spans:
+                if not any(lo <= n <= hi for lo, hi in known_spans):
+                    where = ", ".join(f"{lo}-{hi}" for lo, hi in known_spans)
                     errors.append(
-                        f"{rel}:{lineno}: anchor {path_str}:{n} "
-                        f"names `{symbol}` but it is not within "
-                        f"{ANCHOR_SLACK} lines of that location"
+                        f"{rel}:{lineno}: anchor {path_str}:{n} names "
+                        f"`{symbol}` but that function spans line(s) "
+                        f"{where}"
                     )
+                continue
+            lo = max(0, n - 1 - ANCHOR_SLACK)
+            hi = min(len(src_lines), n + ANCHOR_SLACK)
+            window = "\n".join(src_lines[lo:hi])
+            if re.search(r"\b" + re.escape(symbol) + r"\b", window) is None:
+                errors.append(
+                    f"{rel}:{lineno}: anchor {path_str}:{n} "
+                    f"names `{symbol}` but it is not within "
+                    f"{ANCHOR_SLACK} lines of that location"
+                )
     return errors
 
 
@@ -147,12 +145,24 @@ def main() -> int:
             )
         texts[doc] = doc.read_text()
 
-    dir_states = parse_enum(ROOT / "src" / "proto" / "directory.hpp", "DirState")
-    msg_kinds = parse_enum(ROOT / "src" / "mesh" / "message.hpp", "MsgKind")
-    mutations = parse_enum(ROOT / "src" / "check" / "checker.hpp", "Mutation")
-    tags = parse_tags()
-    event_consts = parse_constants(ROOT / "src" / "sim" / "event.hpp")
-    known = dir_states | msg_kinds | mutations | tags | event_consts
+    model_json, findings = proto_model.build_protocol_model(ROOT, "tokens")
+    gating = proto_model.gating(findings)
+    if gating:
+        # Anchor/inventory checks against a broken model would lie; make
+        # the extraction failure itself the reported drift.
+        print(f"doc drift: protocol model has {len(gating)} gating finding(s)")
+        for f in gating:
+            print(f"  [{f['rule']}] {f['msg']}")
+        return 1
+
+    enums = {k: set(v) - {"kCount"} for k, v in model_json["enums"].items()}
+    dir_states = enums["DirState"]
+    msg_kinds = enums["MsgKind"]
+    mutations = enums["Mutation"]
+    tags = set(model_json["tags"])
+    consts = set(model_json["consts"])
+    known = dir_states | msg_kinds | mutations | tags | consts
+    spans = function_spans(model_json)
 
     proto_doc, mc_doc, _ = DOCS
     errors = []
@@ -167,12 +177,12 @@ def main() -> int:
                             "protocol mutation")
     for doc in DOCS:
         errors += check_reverse(doc, texts[doc], known)
-        errors += check_anchors(doc, texts[doc])
+        errors += check_anchors(doc, texts[doc], spans)
     for doc in ANCHOR_ONLY_DOCS:
         if not doc.is_file():
             sys.exit(f"error: {doc.relative_to(ROOT)} not found")
         texts[doc] = doc.read_text()
-        errors += check_anchors(doc, texts[doc])
+        errors += check_anchors(doc, texts[doc], spans)
 
     if errors:
         print(f"doc drift: {len(errors)} problem(s)")

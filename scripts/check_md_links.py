@@ -25,6 +25,7 @@ REQUIRED_DOCS = (
     "docs/CHECKER.md",
     "docs/MODELCHECK.md",
     "docs/VERIFICATION.md",
+    "docs/STATIC.md",
 )
 
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
+#include <fstream>
 
 #include "core/machine.hpp"
 #include "proto/base.hpp"
@@ -27,6 +29,20 @@ Checker::Checker(core::Machine& m, bool strict)
       observed_(m.nprocs()) {
   vc_.assign(nprocs_, std::vector<std::uint64_t>(nprocs_, 0));
   for (unsigned p = 0; p < nprocs_; ++p) vc_[p][p] = 1;
+  if (const char* log = std::getenv("LRCSIM_TRANSITION_LOG")) {
+    transition_log_enabled_ = *log != '\0';
+    if (transition_log_enabled_) transition_log_path_ = log;
+  }
+}
+
+Checker::~Checker() {
+  if (!transition_log_enabled_ || transitions_.empty()) return;
+  // Appended (not truncated): one run per protocol family accumulates a
+  // corpus-wide log; std::set ordering keeps each run's chunk sorted.
+  std::ofstream out(transition_log_path_, std::ios::app);
+  for (const auto& [family, state, kind] : transitions_) {
+    out << family << '\t' << state << '\t' << kind << '\n';
+  }
 }
 
 Checker::LineShadow& Checker::shadow(LineId line) {
@@ -195,6 +211,21 @@ void Checker::on_release_drained(core::Cpu& cpu, const char* where) {
 
 // ---- Directory invariants ---------------------------------------------------
 
+void Checker::before_handle(const mesh::Message& msg) {
+  if (!transition_log_enabled_ || base_ == nullptr ||
+      proto::SyncManager::owns(msg.kind)) {
+    return;
+  }
+  // find(), not entry(): the pre-handle state of an untouched line is
+  // kUncached, and peeking must not materialize a directory entry.
+  const proto::DirEntry* e = base_->directory().find(msg.line);
+  const proto::DirState st =
+      e != nullptr ? e->state : proto::DirState::kUncached;
+  transitions_.emplace(std::string(m_.protocol().name()),
+                       std::string(proto::to_string(st)),
+                       std::string(mesh::to_string(msg.kind)));
+}
+
 void Checker::after_handle(const mesh::Message& msg) {
   if (base_ == nullptr || proto::SyncManager::owns(msg.kind)) return;
   check_hierarchy_line(msg.dst, msg.line);
@@ -273,7 +304,7 @@ void Checker::check_entry(LineId line, const proto::DirEntry& e) {
 
     // Weak bookkeeping: notified bits are monotone while the line stays
     // Weak — they are only cleared by membership updates (evict/inval).
-    auto& snap = dir_snap_[line];
+    auto& snap = dir_snap_.get_or_create(line);
     if (snap.state == DirState::kWeak && e.state == DirState::kWeak) {
       if (((snap.notified & e.sharers) & ~e.notified) != 0) {
         fail("notified bit lost while Weak without a membership update");

@@ -27,14 +27,17 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
 #include "mesh/message.hpp"
 #include "proto/directory.hpp"
 #include "sim/types.hpp"
+#include "util/flat_hash.hpp"
 
 namespace lrc::core {
 class Cpu;
@@ -88,6 +91,7 @@ class ViolationError : public std::runtime_error {
 class Checker {
  public:
   explicit Checker(core::Machine& m, bool strict);
+  ~Checker();  // flushes the transition log, when enabled
 
   // ---- Hooks (fired via LRCSIM_HOOK; host execution order) ---------------
 
@@ -109,6 +113,11 @@ class Checker {
 
   /// After release/barrier/finalize returned: all store buffering drained.
   void on_release_drained(core::Cpu& cpu, const char* where);
+
+  /// Before Protocol::handle(msg): records the observed (family,
+  /// state-before, kind) transition when LRCSIM_TRANSITION_LOG names a
+  /// file, feeding the static analyzer's coverage report (docs/STATIC.md).
+  void before_handle(const mesh::Message& msg);
 
   /// Directory invariants for msg.line after Protocol::handle(msg).
   void after_handle(const mesh::Message& msg);
@@ -169,15 +178,28 @@ class Checker {
   unsigned words_per_line_;
 
   std::vector<std::vector<std::uint64_t>> vc_;  // vc_[p][q]
+  // det-lint: ok(keyed access only — no loop ever walks these three maps,
+  //   so their order cannot reach a report; their vector-valued payloads
+  //   do not satisfy FlatMap's trivially-copyable constraint)
   std::unordered_map<SyncId, std::vector<std::uint64_t>> lock_clock_;
+  // det-lint: ok(keyed access only, never iterated; see lock_clock_ above)
   std::unordered_map<SyncId, BarrierState> barriers_;
 
+  // det-lint: ok(keyed access only, never iterated; see lock_clock_ above)
   std::unordered_map<LineId, LineShadow> shadow_;
   // observed_[p][line][word] = shadow version p's cached copy reflects.
+  // det-lint: ok(keyed access only, never iterated; see lock_clock_ above)
   std::vector<std::unordered_map<LineId, std::vector<std::uint64_t>>>
       observed_;
 
-  std::unordered_map<LineId, DirSnap> dir_snap_;
+  util::FlatMap<DirSnap> dir_snap_;
+
+  // Static-vs-dynamic transition coverage (LRCSIM_TRANSITION_LOG): triples
+  // are accumulated ordered so the dump is deterministic, then appended to
+  // the log file on destruction.
+  bool transition_log_enabled_ = false;
+  std::string transition_log_path_;
+  std::set<std::tuple<std::string, std::string, std::string>> transitions_;
 
   std::vector<std::string> violations_;
   std::uint64_t racy_reads_ = 0;

@@ -359,6 +359,8 @@ LitmusResult run_litmus(const LitmusProgram& prog, core::ProtocolKind kind,
   m.run([&](core::Cpu& cpu) {
     const NodeId p = cpu.id();
     const auto& ops = prog.code[p];
+    // det-lint: ok(seed is a pure function of the run options and the
+    //   processor id, so jitter schedules replay bit-identically)
     std::mt19937_64 rng(opts.seed * 1000003ULL + p * 7919ULL + 13);
     if (opts.jitter) cpu.compute(1 + rng() % 29);  // stagger the start
     unsigned nth_sync = 0;

@@ -152,6 +152,9 @@ Cycle Machine::pp_claim(NodeId n, Cycle at, Cycle cost) {
 void Machine::dispatch(const mesh::Message& msg, Cycle t) {
   trace_.record(msg, t);
   const Cycle start = std::max(t, pp_free_[msg.dst]);
+  if (!proto::SyncManager::owns(msg.kind)) {
+    LRCSIM_HOOK(*this, before_handle(msg));
+  }
   const Cycle cost = proto::SyncManager::owns(msg.kind)
                          ? sync_->handle(msg, start)
                          : protocol_->handle(msg, start);

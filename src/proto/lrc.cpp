@@ -292,6 +292,10 @@ Cycle Lrc::handle(const Message& msg, Cycle start) {
       return node_fill(msg, start);
     case MsgKind::kWriteThroughAck:
       return node_wt_ack(msg, start);
+    // proto-lint: unreachable(kReadExReq, kUpgradeReq, kWritebackData,
+    //   kSharingWriteback, kInval, kFwdReadReq, kFwdReadExReq, kFwdDataReply,
+    //   kInvalAck, kUpgradeAck : exclusive-ownership vocabulary of the MSI
+    //   family; LRC never acquires ownership or forwards, so none is emitted)
     default:
       assert(false && "unexpected message kind in LRC protocol");
       return 1;

@@ -278,6 +278,10 @@ Cycle MsiBase::handle(const Message& msg, Cycle start) {
       return node_fill(msg, start);
     case MsgKind::kUpgradeAck:
       return node_upgrade_ack(msg, start);
+    // proto-lint: unreachable(kWriteReq, kWriteThrough, kEvictNotify,
+    //   kInvalNotify, kWriteNotice, kWriteAck, kNoticeAck, kWriteThroughAck
+    //   : LRC-family multiple-writer and write-through vocabulary; no MSI
+    //   handler ever emits these, so none can arrive here)
     default:
       assert(false && "unexpected message kind in MSI protocol");
       return 1;
@@ -326,6 +330,8 @@ Cycle MsiBase::home_read(const Message& msg, Cycle start) {
            0, 0, /*requester=*/req);
       return dir_cost();
     }
+    // proto-lint: unreachable(kWeak : only the LRC family's multiple-writer
+    //   recomputation produces Weak; MSI directories never enter it)
     case DirState::kWeak:
       assert(false && "Weak state unused by MSI protocols");
   }
@@ -401,6 +407,8 @@ Cycle MsiBase::home_write(const Message& msg, Cycle start) {
            0, 0, 0, /*requester=*/req);
       return dir_cost();
     }
+    // proto-lint: unreachable(kWeak : only the LRC family's multiple-writer
+    //   recomputation produces Weak; MSI directories never enter it)
     case DirState::kWeak:
       assert(false && "Weak state unused by MSI protocols");
   }

@@ -125,6 +125,8 @@ Cycle SyncManager::handle(const Message& msg, Cycle start) {
       if (on_barrier_released) on_barrier_released(msg.dst, msg.sync, done);
       break;
     }
+    // proto-lint: unreachable(* : Machine::dispatch routes here only when
+    //   owns() holds, i.e. the kind is in the sync tail of MsgKind)
     default:
       assert(false && "not a sync message");
   }

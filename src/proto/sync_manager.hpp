@@ -77,7 +77,11 @@ class SyncManager {
   // Lock/barrier state is partitioned by home node (home_of(s) is the only
   // node that ever touches variable s's entry), and counters by acting
   // node, so sharded runs mutate only shard-local rows.
+  // det-lint: ok(keyed access only — nothing ever iterates these maps, so
+  //   their unspecified order cannot reach stats or reports; values hold a
+  //   deque, which FlatMap's trivially-copyable constraint rules out)
   std::vector<std::unordered_map<SyncId, LockState>> locks_;    // [home]
+  // det-lint: ok(keyed access only, never iterated; see locks_ above)
   std::vector<std::unordered_map<SyncId, BarrierState>> barriers_;  // [home]
   std::vector<SyncStats> stats_;  // [acting node]
 };

@@ -1,0 +1,34 @@
+// Known-bad determinism constructs the layer-0 lint must flag. Each
+// `// EXPECT: <rule>` marker anchors the finding line for
+// scripts/run_static_checks.py --self-test. Analyzed, never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Obj;
+
+std::unordered_map<int, int> g_counts;       // EXPECT: unordered-container
+std::unordered_set<long> g_seen;             // EXPECT: unordered-container
+std::map<Obj*, int> g_by_ptr;                // EXPECT: pointer-key
+
+unsigned jitter() {
+  return static_cast<unsigned>(rand());      // EXPECT: entropy
+}
+
+unsigned seed_from_hw() {
+  std::random_device rd;                     // EXPECT: entropy
+  std::mt19937_64 rng(rd());                 // EXPECT: entropy
+  return static_cast<unsigned>(rng());
+}
+
+long stamp() {
+  auto t = std::chrono::steady_clock::now(); // EXPECT: wall-clock
+  long wall = time(nullptr);                 // EXPECT: wall-clock
+  return wall + t.time_since_epoch().count();
+}
+
+// det-lint: ok(nothing on the next line is flagged)  // EXPECT: orphan-annotation
+int unrelated = 0;

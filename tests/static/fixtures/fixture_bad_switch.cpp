@@ -1,0 +1,87 @@
+// Known-bad switch shapes the layer-0 extractor must flag. Each
+// `// EXPECT: <rule>` marker names the finding and anchors its line;
+// scripts/run_static_checks.py --self-test requires the audit to produce
+// exactly this set. The file is analyzed, never compiled (the duplicate
+// case below would not build).
+#include <cassert>
+
+enum class Kind { kA, kB, kC, kD, kCount };
+
+int bad_missing(Kind k) {
+  switch (k) {  // EXPECT: unhandled-kind
+    case Kind::kA:
+      return 1;
+    case Kind::kB:
+      return 2;
+    default:
+      assert(false && "unexpected kind");
+      return 0;
+  }
+}
+
+int bad_partial_annotation(Kind k) {
+  switch (k) {  // EXPECT: unhandled-kind
+    case Kind::kA:
+      return 1;
+    case Kind::kB:
+      return 2;
+    // proto-lint: unreachable(kC : kC producers retired; kD forgotten)
+    default:
+      assert(false && "unexpected kind");
+      return 0;
+  }
+}
+
+int bad_duplicate(Kind k) {
+  switch (k) {
+    case Kind::kA:
+      return 1;
+    case Kind::kB:
+    case Kind::kC:
+      return 2;
+    case Kind::kA:  // EXPECT: duplicate-case
+      return 3;
+    case Kind::kD:
+      return 4;
+  }
+  return 0;
+}
+
+int bad_dead_case(Kind k) {
+  switch (k) {
+    case Kind::kA:
+      return 1;
+    case Kind::kB:
+    case Kind::kC:
+      return 2;
+    case Kind::kD:  // EXPECT: unannotated-dead-case
+      assert(false && "kD never reaches this fixture");
+      return 0;
+  }
+  return 0;
+}
+
+int bad_stale(Kind k) {
+  switch (k) {  // EXPECT: stale-annotation
+    case Kind::kA:
+    case Kind::kB:
+    case Kind::kC:
+    case Kind::kD:
+      return 1;
+    // proto-lint: unreachable(kD : stale — the case above handles kD)
+    default:
+      return 0;
+  }
+}
+
+int bad_reason(Kind k) {
+  switch (k) {  // EXPECT: unhandled-kind
+    case Kind::kA:
+    case Kind::kB:
+    case Kind::kC:
+      return 1;
+    // proto-lint: unreachable(kD)  // EXPECT: annotation-reason
+    default:
+      return 0;
+  }
+}

@@ -1,0 +1,21 @@
+// The same determinism hazards as fixture_bad_det.cpp, each carrying a
+// `// det-lint: ok(reason)` allowlist annotation. The fixture self-test
+// requires the lint to produce zero findings here — proving annotations
+// attach on both the same-line and preceding-line forms.
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+struct Obj;
+
+// det-lint: ok(fixture — read back by key only, never iterated)
+std::unordered_map<int, int> g_counts;
+
+std::map<Obj*, int> g_by_ptr;  // det-lint: ok(fixture — debug-only index)
+
+unsigned jitter(unsigned run_seed) {
+  // det-lint: ok(seed is a pure function of the run options)
+  std::mt19937_64 rng(run_seed * 1000003ULL + 13);
+  return static_cast<unsigned>(rng());
+}

@@ -1,0 +1,50 @@
+// Well-formed switch shapes: complete dispatch, a properly annotated
+// default, and a properly annotated dead case. The fixture self-test
+// requires the audit to produce zero findings here.
+#include <cassert>
+
+enum class Kind { kA, kB, kC, kD, kCount };
+
+int ok_complete(Kind k) {
+  switch (k) {
+    case Kind::kA:
+      return 1;
+    case Kind::kB:
+    case Kind::kC:
+      return 2;
+    case Kind::kD:
+      return 3;
+    case Kind::kCount:
+      return 0;
+  }
+  return 0;
+}
+
+int ok_annotated_default(Kind k) {
+  switch (k) {
+    case Kind::kA:
+      return 1;
+    case Kind::kB:
+      return 2;
+    // proto-lint: unreachable(kC, kD : this fixture's imaginary peers
+    //   stopped producing kC and kD two protocol revisions ago)
+    default:
+      assert(false && "unexpected kind");
+      return 0;
+  }
+}
+
+int ok_annotated_dead_case(Kind k) {
+  switch (k) {
+    case Kind::kA:
+    case Kind::kB:
+      return 1;
+    case Kind::kC:
+      return 2;
+    // proto-lint: unreachable(kD : kD is filtered out by the caller)
+    case Kind::kD:
+      assert(false && "kD filtered upstream");
+      return 0;
+  }
+  return 0;
+}
