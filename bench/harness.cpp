@@ -7,9 +7,13 @@
 #include <cstring>
 #include <exception>
 #include <iterator>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
+
+#include "trace/replay_cpu.hpp"
+#include "trace/writer.hpp"
 
 namespace lrc::bench {
 
@@ -41,7 +45,13 @@ namespace {
       "  --shards N       shard-level parallelism: threads *inside* one\n"
       "                   simulation (conservative parallel DES, DESIGN.md\n"
       "                   Sec. 10). 0 = serial legacy engine. Stats are\n"
-      "                   bit-identical across shard counts >= 1\n",
+      "                   bit-identical across shard counts >= 1\n"
+      "  --capture DIR    record each cell's workload stream as a trace\n"
+      "                   under DIR/<app>_<protocol>/ (serial-only; see\n"
+      "                   DESIGN.md Sec. 11)\n"
+      "  --replay DIR     replay traces from DIR/<app>_<protocol>/ with the\n"
+      "                   fiber-free front end; composes with --jobs and\n"
+      "                   --shards, stats bit-identical to the captured run\n",
       prog);
   std::exit(2);
 }
@@ -114,9 +124,21 @@ Options Options::parse(int argc, char** argv) {
       if (opt.jobs == 0) usage(argv[0]);
     } else if (arg == "--shards") {
       opt.shards = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--capture") {
+      opt.capture_dir = next();
+    } else if (arg == "--replay") {
+      opt.replay_dir = next();
     } else {
       usage(argv[0]);
     }
+  }
+  if (!opt.capture_dir.empty() && !opt.replay_dir.empty()) {
+    std::fprintf(stderr, "--capture and --replay are mutually exclusive\n");
+    usage(argv[0]);
+  }
+  if (!opt.capture_dir.empty() && opt.shards != 0) {
+    std::fprintf(stderr, "--capture is serial-only (drop --shards)\n");
+    usage(argv[0]);
   }
   return opt;
 }
@@ -169,7 +191,29 @@ std::vector<const apps::AppInfo*> selected_apps(const Options& opt) {
 
 RunResult run_app(const apps::AppInfo& info, core::ProtocolKind kind,
                   const Options& opt) {
+  const std::string cell = std::string(info.name) + "_" +
+                           std::string(core::to_string(kind));
+  if (!opt.replay_dir.empty()) {
+    // Fiber-free replay: processors re-issue the recorded streams; the
+    // workload body, validation, and capture do not apply.
+    core::Machine m(make_params(opt), kind,
+                    trace::ReplayCpu::factory(opt.replay_dir + "/" + cell));
+    m.run(nullptr);
+    RunResult r;
+    r.report = m.report();
+    r.app.valid = true;
+    r.app.detail = "replay";
+    return r;
+  }
   core::Machine m(make_params(opt), kind);
+  std::unique_ptr<trace::CaptureLog> capture;
+  if (!opt.capture_dir.empty()) {
+    capture = std::make_unique<trace::CaptureLog>(
+        opt.capture_dir + "/" + cell, opt.procs);
+    capture->set_meta(std::string(info.name),
+                      std::string(core::to_string(kind)), opt.seed);
+    m.set_access_log(capture.get());
+  }
   apps::AppConfig cfg;
   cfg.seed = opt.seed;
   cfg.validate = opt.validate;
@@ -189,6 +233,7 @@ RunResult run_app(const apps::AppInfo& info, core::ProtocolKind kind,
   }
   RunResult r;
   r.app = info.run(m, cfg);
+  if (capture) capture->finish();
   r.report = m.report();
   if (opt.validate && !r.app.valid) {
     std::fprintf(stderr, "WARNING: %s under %s failed validation: %s\n",

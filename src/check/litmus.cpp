@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <fstream>
+#include <memory>
 #include <random>
 #include <sstream>
 #include <stdexcept>
 
 #include "check/checker.hpp"
 #include "core/machine.hpp"
+#include "trace/replay_cpu.hpp"
+#include "trace/writer.hpp"
 
 namespace lrc::check {
 
@@ -307,10 +310,17 @@ LitmusResult run_litmus(const LitmusProgram& prog, core::ProtocolKind kind,
 
 LitmusResult run_litmus(const LitmusProgram& prog, core::ProtocolKind kind,
                         const LitmusRunOptions& opts) {
+  const bool replay = !opts.replay_dir.empty();
+  if (replay && !opts.capture_dir.empty()) {
+    throw std::invalid_argument("litmus " + prog.name +
+                                ": capture_dir and replay_dir are exclusive");
+  }
   auto params = core::SystemParams::test_scale(prog.nprocs);
   if (opts.cache) params.cache = *opts.cache;
   params.shards = opts.shards;
-  core::Machine m(params, kind);
+  core::Machine m(params, kind,
+                  replay ? trace::ReplayCpu::factory(opts.replay_dir)
+                         : core::Machine::CpuFactory{});
 
   // Lay out variables: grouped vars pack into one line (8 bytes apart,
   // distinct words — the multiple-writer/false-sharing scenarios); the rest
@@ -349,12 +359,33 @@ LitmusResult run_litmus(const LitmusProgram& prog, core::ProtocolKind kind,
   // Non-strict: litmus results are evaluated by the caller; collect rather
   // than throw so a violating run still reports its outcome. The runtime
   // checker is serial-only, so sharded runs skip it (result evaluation
-  // still covers the forbid/require conditions).
-  check::Checker* ck =
-      opts.shards == 0 ? m.enable_checker(/*strict=*/false) : nullptr;
+  // still covers the forbid/require conditions). Replay skips it too: the
+  // checker needs the fiber front end (Machine::run rejects the combination).
+  check::Checker* ck = (opts.shards == 0 && !replay)
+                           ? m.enable_checker(/*strict=*/false)
+                           : nullptr;
 #endif
 
+  std::unique_ptr<trace::CaptureLog> capture;
+  if (!opts.capture_dir.empty()) {
+    capture = std::make_unique<trace::CaptureLog>(opts.capture_dir,
+                                                  prog.nprocs);
+    capture->set_meta(prog.name, std::string(core::to_string(kind)),
+                      opts.seed);
+    m.set_access_log(capture.get());
+  }
+
   if (opts.pre_run) opts.pre_run(m);
+
+  if (replay) {
+    // The trace carries the workload; registers are host-side state that is
+    // not traced, so the result reports no register values and the
+    // forbid/require conditions are not evaluated (compare Machine reports
+    // via post_run instead).
+    m.run(nullptr);
+    if (opts.post_run) opts.post_run(m);
+    return res;
+  }
 
   m.run([&](core::Cpu& cpu) {
     const NodeId p = cpu.id();
@@ -416,6 +447,8 @@ LitmusResult run_litmus(const LitmusProgram& prog, core::ProtocolKind kind,
       }
     }
   });
+
+  if (capture) capture->finish();
 
 #ifdef LRCSIM_CHECK
   if (ck != nullptr) {

@@ -130,6 +130,16 @@ struct LitmusRunOptions {
   /// Machine is destroyed — e.g. to dump a message trace enabled in
   /// pre_run. Not called when the run throws.
   std::function<void(core::Machine&)> post_run;
+  /// When set, records the per-processor workload stream under this
+  /// directory (trace/writer.hpp; DESIGN.md §11). Capture is serial-only
+  /// (shards must be 0) and mutually exclusive with replay_dir.
+  std::string capture_dir;
+  /// When set, runs the program's captured trace through the fiber-free
+  /// replay front end (trace/replay_cpu.hpp) instead of executing the
+  /// litmus body. Registers live on the host and are not traced, so the
+  /// result carries no register values and conditions are not evaluated;
+  /// use post_run to compare Machine reports. Composes with shards.
+  std::string replay_dir;
 };
 
 /// Runs the program on a fresh test_scale Machine under `kind`. `seed`

@@ -1,0 +1,31 @@
+// Capture interface for the trace front end (DESIGN.md §11): when a log is
+// installed on the Machine, every workload-level operation — shared-memory
+// accesses, computation, synchronization — is reported here immediately
+// before it executes. The stream is exactly what trace::ReplayCpu re-issues,
+// so capture hooks the same boundary replay drives.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace lrc::core {
+
+class AccessLog {
+ public:
+  enum class SyncOp : std::uint8_t { kLock, kUnlock, kBarrier, kFence };
+
+  virtual ~AccessLog() = default;
+
+  /// A timed shared-memory access is about to issue on processor `p`.
+  virtual void on_access(NodeId p, bool write, Addr a, std::uint32_t bytes) = 0;
+
+  /// Processor `p` is about to charge `n` cycles of local computation.
+  virtual void on_compute(NodeId p, Cycle n) = 0;
+
+  /// Processor `p` is about to perform a synchronization operation
+  /// (`s` is unused for kFence).
+  virtual void on_sync(NodeId p, SyncOp op, SyncId s) = 0;
+};
+
+}  // namespace lrc::core

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "check/hooks.hpp"
+#include "core/access_log.hpp"
 #include "core/machine.hpp"
 #include "proto/protocol.hpp"
 #include "proto/sync_manager.hpp"
@@ -23,26 +24,43 @@ Cpu::Cpu(Machine& m, NodeId id)
 
 unsigned Cpu::nprocs() const { return m_.nprocs(); }
 
-void Cpu::compute(Cycle n) { tick(n); }
+void Cpu::compute(Cycle n) {
+  if (AccessLog* log = m_.access_log()) log->on_compute(id_, n);
+  tick(n);
+}
 
-void Cpu::fence() { m_.protocol().fence(*this); }
+void Cpu::fence() {
+  if (AccessLog* log = m_.access_log()) {
+    log->on_sync(id_, AccessLog::SyncOp::kFence, 0);
+  }
+  drive(m_.protocol().fence(*this));
+}
 
 // Checker hooks bracket the protocol calls so the host-order sequence of
 // hook firings matches the simulated happens-before order: a release hook
 // runs before the lock can be granted elsewhere, and an acquire hook runs
 // only after the grant came back to this fiber.
 void Cpu::lock(SyncId s) {
-  m_.protocol().acquire(*this, s);
+  if (AccessLog* log = m_.access_log()) {
+    log->on_sync(id_, AccessLog::SyncOp::kLock, s);
+  }
+  drive(m_.protocol().acquire(*this, s));
   LRCSIM_HOOK(m_, on_acquire(id_, s));
 }
 void Cpu::unlock(SyncId s) {
+  if (AccessLog* log = m_.access_log()) {
+    log->on_sync(id_, AccessLog::SyncOp::kUnlock, s);
+  }
   LRCSIM_HOOK(m_, on_release(id_, s));
-  m_.protocol().release(*this, s);
+  drive(m_.protocol().release(*this, s));
   LRCSIM_HOOK(m_, on_release_drained(*this, "unlock"));
 }
 void Cpu::barrier(SyncId s) {
+  if (AccessLog* log = m_.access_log()) {
+    log->on_sync(id_, AccessLog::SyncOp::kBarrier, s);
+  }
   LRCSIM_HOOK(m_, on_barrier_arrive(id_, s));
-  m_.protocol().barrier(*this, s);
+  drive(m_.protocol().barrier(*this, s));
   LRCSIM_HOOK(m_, on_release_drained(*this, "barrier"));
   LRCSIM_HOOK(m_, on_barrier_done(id_, s));
 }
@@ -56,22 +74,23 @@ void Cpu::tick(Cycle n) {
   }
 }
 
-void Cpu::quantum_yield() {
+void Cpu::schedule_quantum_resume() {
   hits_since_yield_ = 0;
-  // Re-enter the engine so messages timestamped before our run-ahead horizon
-  // get processed; we resume at our own local time.
   resume_scheduled_ = true;
   resume_mode_ = ResumeMode::kQuantum;
   m_.sched_resume(id_, now_, resume_event_);
+}
+
+void Cpu::quantum_yield() {
+  // Re-enter the engine so messages timestamped before our run-ahead horizon
+  // get processed; we resume at our own local time.
+  schedule_quantum_resume();
   sim::Fiber::yield();
 }
 
 void Cpu::block(stats::StallKind k) {
   assert(sim::Fiber::current() == fiber_.get());
-  blocked_ = true;
-  block_kind_ = k;
-  block_start_ = now_;
-  hits_since_yield_ = 0;
+  note_blocked(k);
   sim::Fiber::yield();
 }
 
@@ -85,12 +104,12 @@ void Cpu::poke(Cycle t) {
 void Cpu::on_resume(Cycle t) {
   switch (resume_mode_) {
     case ResumeMode::kStart:
-      fiber_->resume();
+      resume_execution();
       return;
     case ResumeMode::kQuantum:
       resume_scheduled_ = false;
       now_ = std::max(now_, t);
-      fiber_->resume();
+      resume_execution();
       return;
     case ResumeMode::kPoke:
       resume_scheduled_ = false;
@@ -99,21 +118,30 @@ void Cpu::on_resume(Cycle t) {
       bd_[block_kind_] += t - block_start_;
       stall_hist_[static_cast<std::size_t>(block_kind_)].add(t - block_start_);
       now_ = std::max(now_, t);
-      fiber_->resume();
+      resume_execution();
       return;
   }
 }
 
-void Cpu::start(std::function<void(Cpu&)> body) {
-  body_ = std::move(body);
-  fiber_ = std::make_unique<sim::Fiber>([this] { run_body(); });
+void Cpu::schedule_start() {
   resume_mode_ = ResumeMode::kStart;
   m_.sched_resume(id_, 0, resume_event_);
 }
 
+void Cpu::start(std::function<void(Cpu&)> body) {
+  if (!body) {
+    throw std::invalid_argument("fiber front end requires a workload body");
+  }
+  body_ = std::move(body);
+  fiber_ = std::make_unique<sim::Fiber>([this] { run_body(); });
+  schedule_start();
+}
+
+void Cpu::resume_execution() { fiber_->resume(); }
+
 void Cpu::run_body() {
   body_(*this);
-  m_.protocol().finalize(*this);
+  drive(m_.protocol().finalize(*this));
 }
 
 }  // namespace lrc::core

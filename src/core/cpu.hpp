@@ -2,9 +2,14 @@
 // barrier/compute) plus the per-node hardware a protocol drives (cache,
 // write buffer, coalescing buffer, outstanding-transaction table).
 //
-// Workload code runs on a fiber owned by this class. Cache hits execute
-// inline (local clock bump); anything slower blocks the fiber until the
-// protocol completes the transaction through the event engine.
+// Two front ends share this class. The default (fiber) front end runs
+// workload code on a fiber owned by this class: cache hits execute inline
+// (local clock bump); anything slower suspends the fiber until the protocol
+// completes the transaction through the event engine. The trace front end
+// (trace::ReplayCpu) overrides the virtual seam — start/finished/
+// quantum_yield/resume_execution — and advances by decoding trace records
+// instead of switching a fiber; the engine-facing contract (block/poke/
+// local clock, the reusable ResumeEvent) is identical in both.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +21,7 @@
 #include "cache/coalescing_buffer.hpp"
 #include "cache/ot_table.hpp"
 #include "cache/write_buffer.hpp"
+#include "proto/cpu_op.hpp"
 #include "sim/event.hpp"
 #include "sim/fiber.hpp"
 #include "sim/types.hpp"
@@ -29,11 +35,12 @@ class Machine;
 class Cpu {
  public:
   Cpu(Machine& m, NodeId id);
+  virtual ~Cpu() = default;
 
   NodeId id() const { return id_; }
   unsigned nprocs() const;
 
-  // ---- Workload API ------------------------------------------------------
+  // ---- Workload API (fiber front end) ------------------------------------
 
   /// Timed shared-memory read. T must be trivially copyable and must not
   /// straddle a cache line.
@@ -83,10 +90,17 @@ class Cpu {
   /// arrives. Callers wrap this in a `while (!condition)` loop.
   void block(stats::StallKind k);
 
-  /// Wakes a blocked fiber no earlier than `t` (engine/event context).
+  /// Runs a protocol op to completion, translating each Wait suspension
+  /// into block(). The fiber front end's bridge to the coroutine protocol
+  /// entry points.
+  void drive(proto::CpuOp op) {
+    while (!op.step()) block(op.wait_kind());
+  }
+
+  /// Wakes a blocked processor no earlier than `t` (engine/event context).
   void poke(Cycle t);
 
-  /// True while the fiber is suspended in block().
+  /// True while the processor is suspended in a Wait.
   bool blocked() const { return blocked_; }
 
   /// Write-through acknowledgements still outstanding (LRC drain condition).
@@ -94,9 +108,44 @@ class Cpu {
 
   // ---- Machine plumbing --------------------------------------------------
 
-  void start(std::function<void(Cpu&)> body);  // create fiber, schedule at 0
-  bool finished() const { return fiber_ && fiber_->finished(); }
+  /// Fiber front end: creates the workload fiber, scheduled at cycle 0.
+  /// Front ends that carry their own workload (trace replay) override and
+  /// ignore `body`.
+  virtual void start(std::function<void(Cpu&)> body);
+  virtual bool finished() const { return fiber_ && fiber_->finished(); }
+  /// True for front ends that re-issue a recorded stream (no workload body,
+  /// no checker, no capture).
+  virtual bool is_replay() const { return false; }
   Machine& machine() { return m_; }
+
+ protected:
+  /// Hands control back to the workload after on_resume's bookkeeping.
+  /// Fiber front end: resume the fiber. Replay: run the decode loop.
+  virtual void resume_execution();
+
+  /// Engine re-entry when the run-ahead quantum is exhausted (called from
+  /// tick). The fiber front end suspends here; replay defers the yield to
+  /// the end of the current op (provably identical: ops never act after
+  /// their final tick).
+  virtual void quantum_yield();
+
+  /// Marks this processor blocked under `k` without suspending anything
+  /// (the caller suspends however its front end does).
+  void note_blocked(stats::StallKind k) {
+    blocked_ = true;
+    block_kind_ = k;
+    block_start_ = now_;
+    hits_since_yield_ = 0;
+  }
+
+  /// Schedules the reusable resume event at the local clock (quantum
+  /// re-entry) — shared by both front ends' quantum_yield.
+  void schedule_quantum_resume();
+
+  /// Schedules the initial resume at cycle 0 (both front ends' start()).
+  void schedule_start();
+
+  Machine& m_;
 
  private:
   friend class Machine;
@@ -115,10 +164,8 @@ class Cpu {
   enum class ResumeMode : std::uint8_t { kStart, kQuantum, kPoke };
 
   void run_body();
-  void quantum_yield();
   void on_resume(Cycle t);
 
-  Machine& m_;
   NodeId id_;
   Cycle now_ = 0;
   stats::CpuBreakdown bd_;

@@ -20,7 +20,8 @@ const SystemParams& validated(const SystemParams& p) {
 }
 }  // namespace
 
-Machine::Machine(const SystemParams& params, ProtocolKind protocol)
+Machine::Machine(const SystemParams& params, ProtocolKind protocol,
+                 CpuFactory cpu_factory)
     : params_(validated(params)),
       kind_(protocol),
       topo_(params.nprocs),
@@ -47,7 +48,8 @@ Machine::Machine(const SystemParams& params, ProtocolKind protocol)
       this);
   cpus_.reserve(params.nprocs);
   for (NodeId p = 0; p < params.nprocs; ++p) {
-    cpus_.push_back(std::make_unique<Cpu>(*this, p));
+    cpus_.push_back(cpu_factory ? cpu_factory(*this, p)
+                                : std::make_unique<Cpu>(*this, p));
   }
   // Lines displaced out of a private stack exit through the protocol,
   // which owes the same transactions a coherence invalidation produces.
@@ -60,7 +62,15 @@ Machine::Machine(const SystemParams& params, ProtocolKind protocol)
   }
 }
 
-Machine::~Machine() = default;
+Machine::~Machine() {
+  // A run that unwinds mid-flight (checker strict mode, a replay
+  // TraceError) leaves events queued — including the Cpus' reusable
+  // resume events, which live inside the Cpu objects. engine_ is declared
+  // before cpus_ and so is destroyed after them; drain every engine here,
+  // while the Cpus are still alive, so releasing those events is safe.
+  engine_.drop_pending();
+  for (auto& e : shard_engines_) e->drop_pending();
+}
 
 check::Checker* Machine::enable_checker(bool strict) {
 #ifdef LRCSIM_CHECK
@@ -175,6 +185,9 @@ void Machine::setup_shards() {
   if (checker_) {
     throw std::logic_error("sharded run: runtime checker is serial-only");
   }
+  if (access_log_) {
+    throw std::logic_error("sharded run: trace capture is serial-only");
+  }
   nshards_ = std::min(params_.shards, params_.nprocs);
   shard_of_ = topo_.partition(nshards_);
   const unsigned hops = topo_.min_cross_shard_hops(shard_of_);
@@ -286,6 +299,18 @@ void Machine::run_shards() {
 void Machine::run(std::function<void(Cpu&)> body) {
   if (ran_) throw std::logic_error("Machine::run may be called only once");
   ran_ = true;
+  if (!cpus_.empty() && cpus_[0]->is_replay()) {
+    // A replayed stream carries no values and no workload body, so the
+    // value-oracle checker and a second capture have nothing to observe.
+    if (checker_) {
+      throw std::logic_error("trace replay: runtime checker needs the "
+                             "fiber front end");
+    }
+    if (access_log_) {
+      throw std::logic_error("trace replay: capturing a replayed run is "
+                             "unsupported");
+    }
+  }
   if (params_.shards > 0) {
     setup_shards();  // before start(): fiber kick-offs schedule keyed events
     for (auto& c : cpus_) c->start(body);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "check/hooks.hpp"
+#include "core/access_log.hpp"
 #include "core/cpu.hpp"
 #include "core/params.hpp"
 #include "core/report.hpp"
@@ -65,7 +66,13 @@ class SharedArray {
 
 class Machine {
  public:
-  Machine(const SystemParams& params, ProtocolKind protocol);
+  /// Builds one processor per node. `cpu_factory`, when set, constructs the
+  /// processors instead of the default fiber front end — the trace
+  /// replayer's hook (trace::ReplayCpu).
+  using CpuFactory = std::function<std::unique_ptr<Cpu>(Machine&, NodeId)>;
+
+  Machine(const SystemParams& params, ProtocolKind protocol,
+          CpuFactory cpu_factory = {});
   ~Machine();
 
   Machine(const Machine&) = delete;
@@ -94,6 +101,7 @@ class Machine {
   // ---- Execution ---------------------------------------------------------
 
   /// Runs `body` SPMD on all processors to completion. May be called once.
+  /// Replay front ends carry their own workload: pass nullptr.
   void run(std::function<void(Cpu&)> body);
 
   Report report() const;
@@ -149,6 +157,12 @@ class Machine {
   /// Optional message trace (disabled by default): `trace().enable()`
   /// before run() records every delivery for debugging/tests.
   sim::Trace& trace() { return trace_; }
+
+  /// Installs a workload-stream capture hook (trace front end; serial-only,
+  /// like the message trace and the checker). Call before run() with a log
+  /// that outlives it; nullptr detaches.
+  void set_access_log(AccessLog* log) { access_log_ = log; }
+  AccessLog* access_log() const { return access_log_; }
 
   /// Enables the runtime consistency checker (docs/CHECKER.md). Only
   /// available in LRCSIM_CHECK builds — returns nullptr when the checker is
@@ -248,6 +262,7 @@ class Machine {
   std::unique_ptr<proto::Protocol> protocol_;
   std::vector<std::unique_ptr<Cpu>> cpus_;
   std::unique_ptr<check::Checker> checker_;
+  AccessLog* access_log_ = nullptr;
   bool ran_ = false;
 
   // Sharded-run state (empty/0 while serial).
@@ -276,7 +291,10 @@ class Machine {
 template <typename T>
 T Cpu::read(Addr a) {
   static_assert(std::is_trivially_copyable_v<T>);
-  m_.protocol().cpu_read(*this, a, sizeof(T));
+  if (AccessLog* log = m_.access_log()) {
+    log->on_access(id_, /*write=*/false, a, sizeof(T));
+  }
+  drive(m_.protocol().cpu_read(*this, a, sizeof(T)));
   LRCSIM_HOOK(m_, on_read(id_, a, sizeof(T)));
   return m_.store().load<T>(a);
 }
@@ -284,7 +302,10 @@ T Cpu::read(Addr a) {
 template <typename T>
 void Cpu::write(Addr a, const T& v) {
   static_assert(std::is_trivially_copyable_v<T>);
-  m_.protocol().cpu_write(*this, a, sizeof(T));
+  if (AccessLog* log = m_.access_log()) {
+    log->on_access(id_, /*write=*/true, a, sizeof(T));
+  }
+  drive(m_.protocol().cpu_write(*this, a, sizeof(T)));
   LRCSIM_HOOK(m_, on_write(id_, a, sizeof(T)));
   m_.store().store(a, v);
 }

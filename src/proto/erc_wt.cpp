@@ -57,30 +57,30 @@ void ErcWt::flush_cb(core::Cpu& cpu) {
   }
 }
 
-void ErcWt::drain(core::Cpu& cpu) {
+CpuOp ErcWt::drain(core::Cpu& cpu) {
   while (true) {
     flush_cb(cpu);
     if (cpu.wb().empty() && cpu.ot().empty() && cpu.wt_outstanding == 0 &&
         cpu.cb().empty()) {
       break;
     }
-    cpu.block(stats::StallKind::kSync);
+    co_await Wait{stats::StallKind::kSync};
   }
 }
 
-void ErcWt::release(core::Cpu& cpu, SyncId s) {
-  drain(cpu);
+CpuOp ErcWt::release(core::Cpu& cpu, SyncId s) {
+  co_await drain(cpu);
   m_.sync().release_lock(cpu.id(), s, cpu.now());
 }
 
-void ErcWt::barrier(core::Cpu& cpu, SyncId s) {
-  drain(cpu);
+CpuOp ErcWt::barrier(core::Cpu& cpu, SyncId s) {
+  co_await drain(cpu);
   set_sync_done(cpu.id(), false);
   m_.sync().barrier_arrive(cpu.id(), s, cpu.now());
-  while (!sync_done(cpu.id())) cpu.block(stats::StallKind::kSync);
+  while (!sync_done(cpu.id())) co_await Wait{stats::StallKind::kSync};
 }
 
-void ErcWt::finalize(core::Cpu& cpu) { drain(cpu); }
+CpuOp ErcWt::finalize(core::Cpu& cpu) { co_await drain(cpu); }
 
 Cycle ErcWt::handle(const Message& msg, Cycle start) {
   switch (msg.kind) {

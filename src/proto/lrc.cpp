@@ -26,7 +26,7 @@ Lrc::Lrc(core::Machine& m) : ProtocolBase(m), pending_inval_(m.nprocs()) {
 
 // ---- CPU side ----------------------------------------------------------------
 
-void Lrc::cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
+CpuOp Lrc::cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
   const NodeId p = cpu.id();
   const LineId line = line_of(a);
   auto& cache = cpu.dcache();
@@ -35,14 +35,14 @@ void Lrc::cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
   if (cache.lookup(line, cpu.now()) != nullptr) {
     ++cache.stats().read_hits;
     cpu.tick(1 + cache.hit_penalty());
-    return;
+    co_return;
   }
   if (int s = cpu.wb().find(line); s >= 0) {
     const WordMask need = words_of(a, bytes);
     if ((cpu.wb().slot(s).words & need) == need) {
       ++cache.stats().read_hits;
       cpu.tick(1);
-      return;
+      co_return;
     }
   }
 
@@ -66,7 +66,7 @@ void Lrc::cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
   while (true) {
     cache::OtEntry* cur = cpu.ot().find(line);
     if (cur == nullptr || !cur->data_pending) break;
-    cpu.block(stats::StallKind::kRead);
+    co_await Wait{stats::StallKind::kRead};
   }
   cpu.tick(1);
 }
@@ -87,7 +87,7 @@ void Lrc::start_write_req(core::Cpu& cpu, LineId line, bool need_data,
        need_data ? kTagNeedData : 0, words);
 }
 
-void Lrc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
+CpuOp Lrc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
   const NodeId p = cpu.id();
   const LineId line = line_of(a);
   const WordMask words = words_of(a, bytes);
@@ -100,7 +100,7 @@ void Lrc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
       cb_add(cpu, line, words, cpu.now());
       note_local_write(p, line, words);
       cpu.tick(1 + cache.hit_penalty());
-      return;
+      co_return;
     }
     if (cl != nullptr) {
       // Present read-only: announce the write but retire immediately — the
@@ -113,7 +113,7 @@ void Lrc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
       cb_add(cpu, line, words, cpu.now());
       note_local_write(p, line, words);
       cpu.tick(1 + cache.hit_penalty());
-      return;
+      co_return;
     }
     // Absent. Coalesce into a pending buffered write if one exists.
     if (cpu.wb().find(line) >= 0) {
@@ -121,7 +121,7 @@ void Lrc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
       if (cache::OtEntry* e = cpu.ot().find(line)) e->words |= words;
       ++cache.stats().write_hits;
       cpu.tick(1);
-      return;
+      co_return;
     }
     // A transaction in flight for this line: a data fetch is waited out and
     // retried as an upgrade; an ack-only announce whose line has died is
@@ -131,25 +131,25 @@ void Lrc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
         while (true) {
           cache::OtEntry* cur = cpu.ot().find(line);
           if (cur == nullptr || !cur->data_pending) break;
-          cpu.block(stats::StallKind::kWrite);
+          co_await Wait{stats::StallKind::kWrite};
         }
       } else {
         while (cpu.ot().find(line) != nullptr) {
-          cpu.block(stats::StallKind::kWrite);
+          co_await Wait{stats::StallKind::kWrite};
         }
       }
       continue;
     }
     const int slot = cpu.wb().push(line, words);
     if (slot < 0) {
-      cpu.block(stats::StallKind::kWrite);
+      co_await Wait{stats::StallKind::kWrite};
       continue;
     }
     ++cache.stats().write_misses;
     m_.classifier().classify(p, line, word_of(a), /*upgrade=*/false);
     start_write_req(cpu, line, /*need_data=*/true, slot, words);
     cpu.tick(1);
-    return;
+    co_return;
   }
 }
 
@@ -221,18 +221,18 @@ bool Lrc::drained(core::Cpu& cpu) const {
 
 void Lrc::before_line_death(NodeId, LineId, Cycle) {}
 
-void Lrc::drain_for_release(core::Cpu& cpu) {
+CpuOp Lrc::drain_for_release(core::Cpu& cpu) {
   while (true) {
     flush_for_release(cpu);
     while (auto e = cpu.cb().pop()) {
       send_write_through(cpu.id(), e->line, e->words, cpu.now());
     }
     if (drained(cpu)) break;
-    cpu.block(stats::StallKind::kSync);
+    co_await Wait{stats::StallKind::kSync};
   }
 }
 
-void Lrc::acquire(core::Cpu& cpu, SyncId s) {
+CpuOp Lrc::acquire(core::Cpu& cpu, SyncId s) {
   // Start applying already-buffered notices now; their processing overlaps
   // with the lock-grant latency (§2 of the paper). The ablation knob
   // lrc_overlap_acquire defers everything to grant time instead.
@@ -241,32 +241,32 @@ void Lrc::acquire(core::Cpu& cpu, SyncId s) {
   }
   set_sync_done(cpu.id(), false);
   m_.sync().request_lock(cpu.id(), s, cpu.now());
-  while (!sync_done(cpu.id())) cpu.block(stats::StallKind::kSync);
+  while (!sync_done(cpu.id())) co_await Wait{stats::StallKind::kSync};
 }
 
-void Lrc::fence(core::Cpu& cpu) {
+CpuOp Lrc::fence(core::Cpu& cpu) {
   // Process all buffered write notices now; the processor waits for the
   // invalidations to complete (acquire semantics without a lock).
   const Cycle done = apply_invals(cpu.id(), cpu.now());
   if (done > cpu.now()) {
     m_.schedule_poke(cpu.id(), done);
-    while (cpu.now() < done) cpu.block(stats::StallKind::kSync);
+    while (cpu.now() < done) co_await Wait{stats::StallKind::kSync};
   }
 }
 
-void Lrc::release(core::Cpu& cpu, SyncId s) {
-  drain_for_release(cpu);
+CpuOp Lrc::release(core::Cpu& cpu, SyncId s) {
+  co_await drain_for_release(cpu);
   m_.sync().release_lock(cpu.id(), s, cpu.now());
 }
 
-void Lrc::barrier(core::Cpu& cpu, SyncId s) {
-  drain_for_release(cpu);
+CpuOp Lrc::barrier(core::Cpu& cpu, SyncId s) {
+  co_await drain_for_release(cpu);
   set_sync_done(cpu.id(), false);
   m_.sync().barrier_arrive(cpu.id(), s, cpu.now());
-  while (!sync_done(cpu.id())) cpu.block(stats::StallKind::kSync);
+  while (!sync_done(cpu.id())) co_await Wait{stats::StallKind::kSync};
 }
 
-void Lrc::finalize(core::Cpu& cpu) { drain_for_release(cpu); }
+CpuOp Lrc::finalize(core::Cpu& cpu) { co_await drain_for_release(cpu); }
 
 // ---- Message dispatch ----------------------------------------------------------
 

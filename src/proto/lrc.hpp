@@ -31,13 +31,13 @@ class Lrc : public ProtocolBase {
 
   std::string_view name() const override { return "LRC"; }
 
-  void cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) override;
-  void cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) override;
-  void acquire(core::Cpu& cpu, SyncId s) override;
-  void release(core::Cpu& cpu, SyncId s) override;
-  void barrier(core::Cpu& cpu, SyncId s) override;
-  void fence(core::Cpu& cpu) override;
-  void finalize(core::Cpu& cpu) override;
+  CpuOp cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) override;
+  CpuOp cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) override;
+  CpuOp acquire(core::Cpu& cpu, SyncId s) override;
+  CpuOp release(core::Cpu& cpu, SyncId s) override;
+  CpuOp barrier(core::Cpu& cpu, SyncId s) override;
+  CpuOp fence(core::Cpu& cpu) override;
+  CpuOp finalize(core::Cpu& cpu) override;
   Cycle handle(const mesh::Message& msg, Cycle start) override;
 
   /// Victim-sink target: LRC eviction duties of a displaced line
@@ -88,7 +88,7 @@ class Lrc : public ProtocolBase {
   /// Installs a line in `p`'s hierarchy; victims exit via evict_victim.
   void do_fill(NodeId p, LineId line, cache::LineState st, Cycle at);
 
-  void drain_for_release(core::Cpu& cpu);
+  CpuOp drain_for_release(core::Cpu& cpu);
 
   // Home-side handlers.
   Cycle home_read(const mesh::Message& msg, Cycle start);
@@ -120,7 +120,7 @@ class LrcExt final : public Lrc {
 
   std::string_view name() const override { return "LRC-ext"; }
 
-  void cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) override;
+  CpuOp cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) override;
 
   /// Delayed (unannounced) writes at `p` (tests).
   const util::FlatMap<WordMask>& delayed(NodeId p) const {

@@ -12,7 +12,7 @@ LrcExt::LrcExt(core::Machine& m)
       flush_scratch_(m.nprocs()),
       announced_(m.nprocs()) {}
 
-void LrcExt::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
+CpuOp LrcExt::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
   const NodeId p = cpu.id();
   const LineId line = line_of(a);
   const WordMask words = words_of(a, bytes);
@@ -25,7 +25,7 @@ void LrcExt::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
       cb_add(cpu, line, words, cpu.now());
       note_local_write(p, line, words);
       cpu.tick(1 + cache.hit_penalty());
-      return;
+      co_return;
     }
     if (cl != nullptr) {
       // Present read-only: buffer the write notice locally instead of
@@ -36,32 +36,32 @@ void LrcExt::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
       cb_add(cpu, line, words, cpu.now());
       note_local_write(p, line, words);
       cpu.tick(1 + cache.hit_penalty());
-      return;
+      co_return;
     }
     if (cpu.wb().find(line) >= 0) {
       cpu.wb().push(line, words);
       if (cache::OtEntry* e = cpu.ot().find(line)) e->words |= words;
       ++cache.stats().write_hits;
       cpu.tick(1);
-      return;
+      co_return;
     }
     if (cache::OtEntry* e0 = cpu.ot().find(line); e0 != nullptr) {
       if (e0->data_pending) {
         while (true) {
           cache::OtEntry* cur = cpu.ot().find(line);
           if (cur == nullptr || !cur->data_pending) break;
-          cpu.block(stats::StallKind::kWrite);
+          co_await Wait{stats::StallKind::kWrite};
         }
       } else {
         while (cpu.ot().find(line) != nullptr) {
-          cpu.block(stats::StallKind::kWrite);
+          co_await Wait{stats::StallKind::kWrite};
         }
       }
       continue;
     }
     const int slot = cpu.wb().push(line, words);
     if (slot < 0) {
-      cpu.block(stats::StallKind::kWrite);
+      co_await Wait{stats::StallKind::kWrite};
       continue;
     }
     ++cache.stats().write_misses;
@@ -77,7 +77,7 @@ void LrcExt::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
     e.words |= words;
     send(cpu.now(), mesh::MsgKind::kReadReq, p, home_of(line, p), line);
     cpu.tick(1);
-    return;
+    co_return;
   }
 }
 

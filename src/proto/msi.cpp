@@ -35,7 +35,7 @@ MsiBase::MsiBase(core::Machine& m) : ProtocolBase(m) {
 
 // ---- CPU side --------------------------------------------------------------
 
-void MsiBase::cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
+CpuOp MsiBase::cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
   const NodeId p = cpu.id();
   const LineId line = line_of(a);
   auto& cache = cpu.dcache();
@@ -44,7 +44,7 @@ void MsiBase::cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
     if (cache.lookup(line, cpu.now()) != nullptr) {
       ++cache.stats().read_hits;
       cpu.tick(1 + cache.hit_penalty());
-      return;
+      co_return;
     }
     // Read bypass: a buffered write to the same words satisfies the read.
     if (int s = cpu.wb().find(line); s >= 0) {
@@ -52,7 +52,7 @@ void MsiBase::cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
       if ((cpu.wb().slot(s).words & need) == need) {
         ++cache.stats().read_hits;
         cpu.tick(1);
-        return;
+        co_return;
       }
     }
     // An ack-only transaction with the copy gone (evicted mid-upgrade): its
@@ -60,7 +60,7 @@ void MsiBase::cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
     if (cache::OtEntry* e = cpu.ot().find(line);
         e != nullptr && !e->data_pending) {
       while (cpu.ot().find(line) != nullptr) {
-        cpu.block(stats::StallKind::kRead);
+        co_await Wait{stats::StallKind::kRead};
       }
       continue;
     }
@@ -80,7 +80,7 @@ void MsiBase::cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
   while (true) {
     cache::OtEntry* cur = cpu.ot().find(line);
     if (cur == nullptr || !cur->data_pending) break;
-    cpu.block(stats::StallKind::kRead);
+    co_await Wait{stats::StallKind::kRead};
   }
   cpu.tick(1);
 }
@@ -103,7 +103,7 @@ void MsiBase::start_write_tx(core::Cpu& cpu, LineId line, WordMask words,
   }
 }
 
-void Sc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
+CpuOp Sc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
   const NodeId p = cpu.id();
   const LineId line = line_of(a);
   const WordMask words = words_of(a, bytes);
@@ -114,7 +114,7 @@ void Sc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
     ++cache.stats().write_hits;
     commit_write(p, line, words);
     cpu.tick(1 + cache.hit_penalty());
-    return;
+    co_return;
   }
 
   const bool present_ro = cl != nullptr;
@@ -128,12 +128,12 @@ void Sc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
   start_write_tx(cpu, line, words, /*wb_slot=*/-1, present_ro);
   cpu.ot().find(line)->cpu_write_waiting = true;
   while (cpu.ot().find(line) != nullptr) {
-    cpu.block(stats::StallKind::kWrite);
+    co_await Wait{stats::StallKind::kWrite};
   }
   cpu.tick(1);
 }
 
-void Erc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
+CpuOp Erc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
   const NodeId p = cpu.id();
   const LineId line = line_of(a);
   const WordMask words = words_of(a, bytes);
@@ -145,7 +145,7 @@ void Erc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
       ++cache.stats().write_hits;
       commit_write(p, line, words);
       cpu.tick(1 + cache.hit_penalty());
-      return;
+      co_return;
     }
     // Coalesce into an in-flight buffered write to the same line.
     if (cpu.wb().find(line) >= 0) {
@@ -153,21 +153,21 @@ void Erc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
       if (cache::OtEntry* e = cpu.ot().find(line)) e->words |= words;
       ++cache.stats().write_hits;  // buffered, no new transaction
       cpu.tick(1);
-      return;
+      co_return;
     }
     // A read fetch in flight for this line: wait for it, then retry.
     if (cache::OtEntry* e = cpu.ot().find(line); e != nullptr) {
       while (true) {
         cache::OtEntry* cur = cpu.ot().find(line);
         if (cur == nullptr || !cur->data_pending) break;
-        cpu.block(stats::StallKind::kWrite);
+        co_await Wait{stats::StallKind::kWrite};
       }
       continue;
     }
     // Need a fresh write-buffer slot.
     const int slot = cpu.wb().push(line, words);
     if (slot < 0) {
-      cpu.block(stats::StallKind::kWrite);  // buffer full; poked on retire
+      co_await Wait{stats::StallKind::kWrite};  // buffer full; poked on retire
       continue;
     }
     const bool present_ro = cl != nullptr;
@@ -179,35 +179,35 @@ void Erc::cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) {
     m_.classifier().classify(p, line, word_of(a), present_ro);
     start_write_tx(cpu, line, words, slot, present_ro);
     cpu.tick(1);
-    return;
+    co_return;
   }
 }
 
-void MsiBase::drain(core::Cpu& cpu) {
+CpuOp MsiBase::drain(core::Cpu& cpu) {
   while (!cpu.wb().empty() || !cpu.ot().empty()) {
-    cpu.block(stats::StallKind::kSync);
+    co_await Wait{stats::StallKind::kSync};
   }
 }
 
-void MsiBase::acquire(core::Cpu& cpu, SyncId s) {
+CpuOp MsiBase::acquire(core::Cpu& cpu, SyncId s) {
   set_sync_done(cpu.id(), false);
   m_.sync().request_lock(cpu.id(), s, cpu.now());
-  while (!sync_done(cpu.id())) cpu.block(stats::StallKind::kSync);
+  while (!sync_done(cpu.id())) co_await Wait{stats::StallKind::kSync};
 }
 
-void MsiBase::release(core::Cpu& cpu, SyncId s) {
-  drain(cpu);
+CpuOp MsiBase::release(core::Cpu& cpu, SyncId s) {
+  co_await drain(cpu);
   m_.sync().release_lock(cpu.id(), s, cpu.now());
 }
 
-void MsiBase::barrier(core::Cpu& cpu, SyncId s) {
-  drain(cpu);
+CpuOp MsiBase::barrier(core::Cpu& cpu, SyncId s) {
+  co_await drain(cpu);
   set_sync_done(cpu.id(), false);
   m_.sync().barrier_arrive(cpu.id(), s, cpu.now());
-  while (!sync_done(cpu.id())) cpu.block(stats::StallKind::kSync);
+  while (!sync_done(cpu.id())) co_await Wait{stats::StallKind::kSync};
 }
 
-void MsiBase::finalize(core::Cpu& cpu) { drain(cpu); }
+CpuOp MsiBase::finalize(core::Cpu& cpu) { co_await drain(cpu); }
 
 // ---- Common completion helpers ---------------------------------------------
 

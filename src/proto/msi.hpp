@@ -15,11 +15,11 @@ class MsiBase : public ProtocolBase {
  public:
   explicit MsiBase(core::Machine& m);
 
-  void cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) override;
-  void acquire(core::Cpu& cpu, SyncId s) override;
-  void release(core::Cpu& cpu, SyncId s) override;
-  void barrier(core::Cpu& cpu, SyncId s) override;
-  void finalize(core::Cpu& cpu) override;
+  CpuOp cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) override;
+  CpuOp acquire(core::Cpu& cpu, SyncId s) override;
+  CpuOp release(core::Cpu& cpu, SyncId s) override;
+  CpuOp barrier(core::Cpu& cpu, SyncId s) override;
+  CpuOp finalize(core::Cpu& cpu) override;
   Cycle handle(const mesh::Message& msg, Cycle start) override;
 
   /// Victim-sink target: a line left `p`'s private stack. Writes back
@@ -30,12 +30,13 @@ class MsiBase : public ProtocolBase {
  protected:
   Cycle dir_cost() const { return params().erc_dir_cost; }
 
-  /// Waits (fiber context) until the write buffer and transaction table are
-  /// empty — the eager release condition. The write-through variant also
-  /// drains its coalescing buffer and write-through acknowledgements.
-  virtual void drain(core::Cpu& cpu);
+  /// Waits until the write buffer and transaction table are empty — the
+  /// eager release condition. The write-through variant also drains its
+  /// coalescing buffer and write-through acknowledgements. Awaited from
+  /// release/barrier/finalize ops.
+  virtual CpuOp drain(core::Cpu& cpu);
 
-  /// Starts a write transaction for `line` (fiber context): sends
+  /// Starts a write transaction for `line` (op context): sends
   /// kUpgradeReq when the line is present read-only, else kReadExReq.
   /// `wb_slot` (-1 for SC) ties a write-buffer slot to the completion.
   void start_write_tx(core::Cpu& cpu, LineId line, WordMask words,
@@ -70,7 +71,7 @@ class Sc final : public MsiBase {
  public:
   explicit Sc(core::Machine& m) : MsiBase(m) {}
   std::string_view name() const override { return "SC"; }
-  void cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) override;
+  CpuOp cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) override;
 };
 
 /// Eager release consistency (DASH-like): writes retire through a
@@ -81,7 +82,7 @@ class Erc : public MsiBase {
  public:
   explicit Erc(core::Machine& m) : MsiBase(m) {}
   std::string_view name() const override { return "ERC"; }
-  void cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) override;
+  CpuOp cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) override;
 };
 
 /// Ablation variant (paper §4.2 discussion): eager release consistency
@@ -96,9 +97,9 @@ class ErcWt final : public Erc {
  public:
   explicit ErcWt(core::Machine& m) : Erc(m) {}
   std::string_view name() const override { return "ERC-WT"; }
-  void release(core::Cpu& cpu, SyncId s) override;
-  void barrier(core::Cpu& cpu, SyncId s) override;
-  void finalize(core::Cpu& cpu) override;
+  CpuOp release(core::Cpu& cpu, SyncId s) override;
+  CpuOp barrier(core::Cpu& cpu, SyncId s) override;
+  CpuOp finalize(core::Cpu& cpu) override;
   Cycle handle(const mesh::Message& msg, Cycle start) override;
 
   /// Write-through victims owe any coalescing-buffer words to memory
@@ -107,7 +108,7 @@ class ErcWt final : public Erc {
                     Cycle at) override;
 
  protected:
-  void drain(core::Cpu& cpu) override;
+  CpuOp drain(core::Cpu& cpu) override;
   void commit_write(NodeId p, LineId line, WordMask words) override;
 
  private:

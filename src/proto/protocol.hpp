@@ -1,13 +1,17 @@
 // Coherence-protocol interface. One Protocol instance serves the whole
-// machine: the per-processor entry points run in the calling processor's
-// fiber context (and may block it); `handle` runs in event context when a
-// message wins the destination node's protocol processor.
+// machine. The processor-side entry points return CpuOp coroutines
+// (proto/cpu_op.hpp): the op body runs in the context of whichever front
+// end drives it — the workload fiber (core::Cpu::drive) or the trace
+// replayer's event-driven decode loop — suspending at Wait whenever the
+// memory model requires the processor to stall. `handle` runs in event
+// context when a message wins the destination node's protocol processor.
 #pragma once
 
 #include <memory>
 #include <string_view>
 
 #include "mesh/message.hpp"
+#include "proto/cpu_op.hpp"
 #include "sim/types.hpp"
 
 namespace lrc::core {
@@ -28,28 +32,31 @@ class Protocol {
 
   virtual std::string_view name() const = 0;
 
-  /// Timed shared-memory access of `bytes` at `a` (fiber context; blocks the
-  /// cpu as required by the memory model).
-  virtual void cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) = 0;
-  virtual void cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) = 0;
+  /// Timed shared-memory access of `bytes` at `a`; the returned op blocks
+  /// the cpu as required by the memory model.
+  virtual CpuOp cpu_read(core::Cpu& cpu, Addr a, std::uint32_t bytes) = 0;
+  virtual CpuOp cpu_write(core::Cpu& cpu, Addr a, std::uint32_t bytes) = 0;
 
-  /// Synchronization entry points (fiber context).
-  virtual void acquire(core::Cpu& cpu, SyncId s) = 0;
-  virtual void release(core::Cpu& cpu, SyncId s) = 0;
-  virtual void barrier(core::Cpu& cpu, SyncId s) = 0;
+  /// Synchronization entry points.
+  virtual CpuOp acquire(core::Cpu& cpu, SyncId s) = 0;
+  virtual CpuOp release(core::Cpu& cpu, SyncId s) = 0;
+  virtual CpuOp barrier(core::Cpu& cpu, SyncId s) = 0;
 
-  /// Consistency fence (fiber context): applies buffered write notices now,
-  /// giving acquire semantics without a lock. The paper's §4.2 proposes
-  /// fences for racy programs (e.g. chaotic relaxation) whose solution
-  /// quality degrades when invalidations are postponed to the next acquire.
-  /// Only the lazy protocols buffer notices, so only Lrc::fence overrides
-  /// this (LRC-ext inherits it); SC, ERC, and ERC-WT invalidate eagerly at
-  /// write time and use this default no-op.
-  virtual void fence(core::Cpu& cpu) { (void)cpu; }
+  /// Consistency fence: applies buffered write notices now, giving acquire
+  /// semantics without a lock. The paper's §4.2 proposes fences for racy
+  /// programs (e.g. chaotic relaxation) whose solution quality degrades
+  /// when invalidations are postponed to the next acquire. Only the lazy
+  /// protocols buffer notices, so only Lrc::fence overrides this (LRC-ext
+  /// inherits it); SC, ERC, and ERC-WT invalidate eagerly at write time and
+  /// use this default no-op.
+  virtual CpuOp fence(core::Cpu& cpu) {
+    (void)cpu;
+    co_return;
+  }
 
   /// End-of-program drain: leaves no outstanding transactions so statistics
-  /// settle (fiber context).
-  virtual void finalize(core::Cpu& cpu) = 0;
+  /// settle.
+  virtual CpuOp finalize(core::Cpu& cpu) = 0;
 
   /// Processes `msg` at its destination's protocol processor starting at
   /// `start`; returns the processor-occupancy cost in cycles.

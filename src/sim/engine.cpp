@@ -20,21 +20,29 @@ struct OverflowAfter {
 Engine::~Engine() {
   // Destroy events still pending (stopped engines, exception unwinds) so
   // pooled/heap event destructors run exactly once.
-  for (auto& b : ring_) {
-    for (Event* ev = b.head; ev != nullptr;) {
+  drop_pending();
+#ifdef LRC_ENGINE_ASAN
+  for (auto& slab : slabs_) LRC_UNPOISON(slab.mem.get(), slab.bytes);
+#endif
+}
+
+void Engine::drop_pending() {
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    for (Event* ev = ring_[i].head; ev != nullptr;) {
       Event* next = ev->next_;
       ev->pending_ = false;
       release(ev);
       ev = next;
     }
+    ring_[i].head = ring_[i].tail = nullptr;
+    occ_clear(i);
   }
+  ring_count_ = 0;
   for (Event* ev : overflow_) {
     ev->pending_ = false;
     release(ev);
   }
-#ifdef LRC_ENGINE_ASAN
-  for (auto& slab : slabs_) LRC_UNPOISON(slab.mem.get(), slab.bytes);
-#endif
+  overflow_.clear();
 }
 
 void Engine::enqueue(Event* ev, Cycle when) {

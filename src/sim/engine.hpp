@@ -85,6 +85,12 @@ class Engine {
   Engine() = default;
   ~Engine();
 
+  /// Releases every still-pending event (ring + overflow). The destructor
+  /// does this too, but owners whose events live inside other members —
+  /// Machine's Cpus hold their reusable resume events — must drain before
+  /// those members die, since releasing touches the event's header.
+  void drop_pending();
+
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 

@@ -1,0 +1,36 @@
+// Block codecs for the trace format. The built-in `lrz` codec is a small
+// byte-oriented LZ77 with no dependencies — hash-4 greedy matching, two-byte
+// offsets (the 64 KiB block bound makes longer ones useless). When the build
+// found libzstd (LRCSIM_HAVE_ZSTD), writers prefer it; readers accept
+// whichever codec each block names, so traces move between builds as long
+// as the codec used is available.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lrc::trace {
+
+/// FNV-1a 32-bit over `n` bytes (block checksum).
+std::uint32_t fnv1a32(const std::uint8_t* p, std::size_t n);
+
+/// Compresses [src, src+n) into dst (capacity `cap`). Returns the
+/// compressed size, or 0 when the result would not fit in `cap` — callers
+/// fall back to storing the block raw.
+std::size_t lrz_compress(const std::uint8_t* src, std::size_t n,
+                         std::uint8_t* dst, std::size_t cap);
+
+/// Decompresses exactly `raw_len` bytes into dst. Returns false on any
+/// malformed input (bad token, offset before the start, output mismatch);
+/// never reads or writes out of bounds.
+bool lrz_decompress(const std::uint8_t* src, std::size_t n, std::uint8_t* dst,
+                    std::size_t raw_len);
+
+/// True when this build can emit/decode Codec::kZstd blocks.
+bool zstd_available();
+std::size_t zstd_compress(const std::uint8_t* src, std::size_t n,
+                          std::uint8_t* dst, std::size_t cap);
+bool zstd_decompress(const std::uint8_t* src, std::size_t n, std::uint8_t* dst,
+                     std::size_t raw_len);
+
+}  // namespace lrc::trace

@@ -26,6 +26,7 @@
 #include "check/litmus.hpp"
 #include "core/report.hpp"
 #include "mesh/topology.hpp"
+#include "report_digest.hpp"
 
 namespace lrc {
 namespace {
@@ -73,60 +74,9 @@ TEST(ShardPartition, CrossShardHops) {
 // ---- Whole-simulation determinism across shard counts ----------------------
 
 // FNV-1a digest over every deterministic Report field (see file comment for
-// the two excluded order-heuristic counters).
-class Digest {
- public:
-  void mix(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h_ ^= (v >> (8 * i)) & 0xffu;
-      h_ *= 1099511628211ull;
-    }
-  }
-  std::uint64_t value() const { return h_; }
-
- private:
-  std::uint64_t h_ = 14695981039346656037ull;
-};
-
+// the two excluded order-heuristic counters; tests/report_digest.hpp).
 std::uint64_t sharded_digest(const core::Report& r) {
-  Digest d;
-  d.mix(r.nprocs);
-  d.mix(r.execution_time);
-  for (auto c : r.breakdown.cycles) d.mix(c);
-  for (const auto& b : r.per_cpu)
-    for (auto c : b.cycles) d.mix(c);
-  for (const auto& h : r.stall_hist) {
-    d.mix(h.count());
-    d.mix(h.sum());
-    d.mix(h.max());
-  }
-  d.mix(r.cache.read_hits);
-  d.mix(r.cache.read_misses);
-  d.mix(r.cache.write_hits);
-  d.mix(r.cache.write_misses);
-  d.mix(r.cache.upgrade_misses);
-  d.mix(r.cache.evictions);
-  d.mix(r.cache.invalidations);
-  d.mix(r.nic.messages);
-  d.mix(r.nic.control_messages);
-  d.mix(r.nic.data_messages);
-  d.mix(r.nic.payload_bytes);
-  d.mix(r.nic.send_contention);
-  d.mix(r.nic.recv_contention);
-  d.mix(r.dram.reads);
-  d.mix(r.dram.writes);
-  d.mix(r.dram.bytes);
-  d.mix(r.dram.contention);
-  d.mix(r.dram.busy);
-  d.mix(r.lock_acquires);
-  d.mix(r.barrier_episodes);
-  d.mix(r.sync.lock_requests);
-  d.mix(r.sync.lock_grants);
-  d.mix(r.sync.queued_requests);
-  d.mix(r.sync.max_queue);
-  d.mix(r.sync.barrier_arrivals);
-  d.mix(r.events_executed);
-  return d.value();
+  return testutil::sharded_report_digest(r);
 }
 
 bench::Options pdes_options(unsigned shards) {
